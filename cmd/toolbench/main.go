@@ -1,0 +1,291 @@
+// Command toolbench regenerates every table and figure of the paper's
+// evaluation section and runs the full multi-level methodology.
+//
+// Usage:
+//
+//	toolbench [flags] <experiment>
+//
+// Experiments: table3, table4, fig2, fig3, fig4, fig5, fig6, fig7, fig8,
+// adl, trace, report, all, list.
+//
+// Flags:
+//
+//	-scale f   workload scale for APL figures (default 1.0 = paper scale)
+//	-out dir   also write .txt reports and .dat series files into dir
+//	-profile p weight profile for the report (end-user, developer,
+//	           system-manager)
+//	-chart     render figures as ASCII charts instead of tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"tooleval/internal/bench"
+	"tooleval/internal/core"
+	"tooleval/internal/mpt/tools"
+	"tooleval/internal/paperdata"
+	"tooleval/internal/platform"
+	"tooleval/internal/usability"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "toolbench:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	scale   float64
+	outDir  string
+	profile string
+	chart   bool
+}
+
+func run(args []string, w *os.File) error {
+	fs := flag.NewFlagSet("toolbench", flag.ContinueOnError)
+	cfg := config{}
+	fs.Float64Var(&cfg.scale, "scale", 1.0, "workload scale for APL figures (1.0 = paper scale)")
+	fs.StringVar(&cfg.outDir, "out", "", "directory for .txt/.dat artifacts (optional)")
+	fs.StringVar(&cfg.profile, "profile", "end-user", "weight profile: end-user, developer, system-manager")
+	fs.BoolVar(&cfg.chart, "chart", false, "render figures as ASCII charts instead of tables")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("need exactly one experiment (one of %v, report, all, list)", bench.Experiments())
+	}
+	exp := fs.Arg(0)
+	if cfg.outDir != "" {
+		if err := os.MkdirAll(cfg.outDir, 0o755); err != nil {
+			return err
+		}
+	}
+	switch exp {
+	case "list":
+		fmt.Fprintln(w, "experiments:", bench.Experiments())
+		fmt.Fprintln(w, "tools:", tools.Names())
+		fmt.Fprintln(w, "suite (Table 2):")
+		for class, apps := range paperdata.SuiteTable2 {
+			fmt.Fprintf(w, "  %-24s %v\n", class, apps)
+		}
+		return nil
+	case "all":
+		for _, e := range bench.Experiments() {
+			if err := runExperiment(e, cfg, w); err != nil {
+				return err
+			}
+		}
+		return runReport(cfg, w)
+	case "report":
+		return runReport(cfg, w)
+	default:
+		return runExperiment(exp, cfg, w)
+	}
+}
+
+func runExperiment(exp string, cfg config, w *os.File) error {
+	emit := func(name, text string) error {
+		fmt.Fprintln(w, text)
+		if cfg.outDir == "" {
+			return nil
+		}
+		return os.WriteFile(filepath.Join(cfg.outDir, name), []byte(text), 0o644)
+	}
+	emitDat := func(name string, fig *bench.FigureResult) error {
+		if cfg.outDir == "" {
+			return nil
+		}
+		return os.WriteFile(filepath.Join(cfg.outDir, name), []byte(fig.DatFile()), 0o644)
+	}
+	render := func(fig *bench.FigureResult) string {
+		if cfg.chart {
+			return fig.ASCIIChart(72, 22)
+		}
+		return fig.Render()
+	}
+	switch exp {
+	case bench.ExpTable3:
+		t3, err := bench.Table3()
+		if err != nil {
+			return err
+		}
+		return emit("table3.txt", t3.Render())
+	case bench.ExpTable4:
+		t3, err := bench.Table3()
+		if err != nil {
+			return err
+		}
+		fig2, err := bench.Fig2(4)
+		if err != nil {
+			return err
+		}
+		fig3, err := bench.Fig3(4)
+		if err != nil {
+			return err
+		}
+		fig4, err := bench.Fig4(4)
+		if err != nil {
+			return err
+		}
+		rankings := bench.Table4FromMeasurements(t3, fig2, fig3, fig4)
+		text := core.RenderTable4(rankings, "sun-ethernet") + "\n" + core.RenderTable4(rankings, "sun-atm-wan")
+		return emit("table4.txt", text)
+	case bench.ExpFig2:
+		fig, err := bench.Fig2(4)
+		if err != nil {
+			return err
+		}
+		if err := emitDat("fig2.dat", fig); err != nil {
+			return err
+		}
+		return emit("fig2.txt", render(fig))
+	case bench.ExpFig3:
+		fig, err := bench.Fig3(4)
+		if err != nil {
+			return err
+		}
+		if err := emitDat("fig3.dat", fig); err != nil {
+			return err
+		}
+		return emit("fig3.txt", render(fig))
+	case bench.ExpFig4:
+		fig, err := bench.Fig4(4)
+		if err != nil {
+			return err
+		}
+		if err := emitDat("fig4.dat", fig); err != nil {
+			return err
+		}
+		return emit("fig4.txt", render(fig))
+	case bench.ExpFig5, bench.ExpFig6, bench.ExpFig7, bench.ExpFig8:
+		fig, _, err := bench.APLFigure(exp, cfg.scale)
+		if err != nil {
+			return err
+		}
+		if err := emitDat(exp+".dat", fig); err != nil {
+			return err
+		}
+		return emit(exp+".txt", render(fig))
+	case "trace":
+		// Execution-trace demo: the ADL debugging-support criterion.
+		pf, err := platformFor("sun-ethernet")
+		if err != nil {
+			return err
+		}
+		for _, tool := range tools.Names() {
+			events, err := bench.TraceRun(pf, tool, 2048, 28)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "--- %s: 2 KB ping-pong on %s (first %d events) ---\n", tool, pf.Name, len(events))
+			for _, e := range events {
+				fmt.Fprintln(w, e)
+			}
+			fmt.Fprintln(w)
+		}
+		return nil
+	case bench.ExpADL:
+		text, err := usability.Render()
+		if err != nil {
+			return err
+		}
+		prims := "Table 1: primitive name map\n"
+		for prim, byTool := range tools.PrimitiveNames() {
+			prims += fmt.Sprintf("  %-14s express=%-22s p4=%-22s pvm=%s\n",
+				prim, byTool["express"], byTool["p4"], byTool["pvm"])
+		}
+		return emit("adl.txt", prims+"\n"+text)
+	default:
+		return fmt.Errorf("unknown experiment %q (want one of %v, report, all, list)", exp, bench.Experiments())
+	}
+}
+
+func runReport(cfg config, w *os.File) error {
+	var profile core.WeightProfile
+	found := false
+	for _, p := range core.Profiles() {
+		if p.Name == cfg.profile {
+			profile, found = p, true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown profile %q", cfg.profile)
+	}
+	ev, err := evaluate(profile, cfg.scale)
+	if err != nil {
+		return err
+	}
+	text := core.RenderEvaluation(ev)
+	fmt.Fprintln(w, text)
+	if cfg.outDir != "" {
+		if err := os.WriteFile(filepath.Join(cfg.outDir, "report-"+profile.Name+".txt"), []byte(text), 0o644); err != nil {
+			return err
+		}
+		blob, err := core.MarshalReport(ev)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(cfg.outDir, "report-"+profile.Name+".json"), blob, 0o644)
+	}
+	return nil
+}
+
+func evaluate(profile core.WeightProfile, scale float64) (*core.Evaluation, error) {
+	t3, err := bench.Table3()
+	if err != nil {
+		return nil, err
+	}
+	tpl := t3.Measurements()
+	fig2, err := bench.Fig2(4)
+	if err != nil {
+		return nil, err
+	}
+	fig3, err := bench.Fig3(4)
+	if err != nil {
+		return nil, err
+	}
+	fig4, err := bench.Fig4(4)
+	if err != nil {
+		return nil, err
+	}
+	add := func(fig *bench.FigureResult, primitive string) {
+		for _, s := range fig.Series {
+			if s.Tool == "p4-NYNET" {
+				continue
+			}
+			m := core.PrimitiveMeasurement{Platform: s.Platform, Primitive: primitive, Tool: s.Tool}
+			for _, p := range s.Points {
+				m.Sizes = append(m.Sizes, int(p.X*1024))
+				m.TimesMs = append(m.TimesMs, p.Y)
+			}
+			tpl = append(tpl, m)
+		}
+	}
+	add(fig2, "broadcast")
+	add(fig3, "ring")
+	add(fig4, "global sum")
+	_, apl, err := bench.APLFigure("fig8", scale)
+	if err != nil {
+		return nil, err
+	}
+	adl, err := usability.Matrix()
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.New(profile)
+	if err != nil {
+		return nil, err
+	}
+	return m.Evaluate(tpl, apl, adl)
+}
+
+// platformFor wraps platform lookup for experiment handlers.
+func platformFor(key string) (platform.Platform, error) {
+	return platform.Get(key)
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunExperiments(t *testing.T) {
+	outDir := t.TempDir()
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer null.Close()
+	for _, exp := range []string{"list", "table3", "table4", "fig2", "fig3", "adl", "trace"} {
+		if err := run([]string{"-out", outDir, exp}, null); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+	}
+	if err := run([]string{"-chart", "fig2"}, null); err != nil {
+		t.Fatalf("chart mode: %v", err)
+	}
+	// Artifacts written?
+	for _, f := range []string{"table3.txt", "table4.txt", "fig2.txt", "fig2.dat", "adl.txt"} {
+		if _, err := os.Stat(filepath.Join(outDir, f)); err != nil {
+			t.Fatalf("missing artifact %s: %v", f, err)
+		}
+	}
+	t4, err := os.ReadFile(filepath.Join(outDir, "table4.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(t4), "send/receive") {
+		t.Fatalf("table4 artifact malformed:\n%s", t4)
+	}
+}
+
+func TestRunAPLFigureSmallScale(t *testing.T) {
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer null.Close()
+	if err := run([]string{"-scale", "0.1", "fig7"}, null); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunReport(t *testing.T) {
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer null.Close()
+	if err := run([]string{"-scale", "0.1", "-profile", "developer", "report"}, null); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-profile", "nonexistent", "report"}, null); err == nil {
+		t.Fatal("unknown profile should error")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer null.Close()
+	if err := run([]string{}, null); err == nil {
+		t.Fatal("no experiment should error")
+	}
+	if err := run([]string{"fig99"}, null); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}
+
+func TestReportWritesJSON(t *testing.T) {
+	outDir := t.TempDir()
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer null.Close()
+	if err := run([]string{"-scale", "0.1", "-out", outDir, "report"}, null); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(filepath.Join(outDir, "report-end-user.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), `"ranking"`) {
+		t.Fatalf("json report malformed:\n%s", blob)
+	}
+}

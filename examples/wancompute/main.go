@@ -1,0 +1,60 @@
+// wancompute reproduces the paper's wide-area computing claim:
+// "distributed computing is feasible across wide area networks and can
+// outperform LANs if higher speed network technology such as ATM is
+// used" (§3.3). It runs the compute-heavy applications on the NYNET ATM
+// WAN (Syracuse-Rome) and on the local shared Ethernet and compares.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tooleval"
+)
+
+func main() {
+	const scale = 0.5
+	procs := []int{1, 2, 4} // NYNET sweeps 1-4 in the paper (Fig 7)
+
+	fmt.Println("Can a 1995 WAN beat a 1995 LAN? (virtual seconds, p4)")
+	fmt.Println()
+	fmt.Printf("%-12s %-8s %12s %16s %10s\n", "app", "procs", "SUN/Ethernet", "SUN/ATM-WAN", "WAN wins?")
+	wanWins := 0
+	total := 0
+	for _, app := range []string{"jpeg", "montecarlo", "psrs"} {
+		eth, err := tooleval.RunApp("sun-ethernet", "p4", app, procs, scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		wan, err := tooleval.RunApp("sun-atm-wan", "p4", app, procs, scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := range procs {
+			verdict := "no"
+			if wan.Seconds[i] < eth.Seconds[i] {
+				verdict = "yes"
+				wanWins++
+			}
+			total++
+			fmt.Printf("%-12s %-8d %12.3f %16.3f %10s\n", app, procs[i], eth.Seconds[i], wan.Seconds[i], verdict)
+		}
+	}
+	fmt.Println()
+	fmt.Printf("WAN outperformed the local Ethernet in %d of %d configurations.\n", wanWins, total)
+	fmt.Println("(The IPX stations on NYNET are also faster than the ELCs — the")
+	fmt.Println("paper's point stands: with ATM, geography stops being the bottleneck.)")
+
+	// The latency side of the story: short-message round trips still pay
+	// the ~600us propagation to Rome and back.
+	lan, err := tooleval.PingPong("sun-atm-lan", "p4", []int{0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	wan, err := tooleval.PingPong("sun-atm-wan", "p4", []int{0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n0-byte p4 round trip: ATM LAN %.2f ms, NYNET %.2f ms (+%.0f%% — propagation, not software).\n",
+		lan[0], wan[0], 100*(wan[0]-lan[0])/lan[0])
+}

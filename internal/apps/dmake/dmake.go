@@ -1,0 +1,284 @@
+// Package dmake implements the Distributed Make application of the SU
+// PDABS suite (Table 2, Utilities): a master schedules a dependency DAG
+// of build tasks over worker processors, dispatching targets as their
+// prerequisites finish — the suite's dynamic load-balancing
+// representative (§2.3 calls dynamic balancing "critical for applications
+// with widely varying run-time load distributions").
+package dmake
+
+import (
+	"fmt"
+	"sort"
+
+	"tooleval/internal/mpt"
+)
+
+// OpsPerSizeUnit is the build cost per unit of target size ("compiling").
+const OpsPerSizeUnit = 120.0
+
+// Config sizes the benchmark.
+type Config struct {
+	Targets int
+	Seed    int64
+}
+
+// DefaultConfig builds a 160-target project.
+func DefaultConfig() Config { return Config{Targets: 160, Seed: 89} }
+
+// Scaled shrinks the project.
+func (c Config) Scaled(factor float64) Config {
+	c.Targets = int(float64(c.Targets) * factor)
+	if c.Targets < 12 {
+		c.Targets = 12
+	}
+	return c
+}
+
+// Target is one node of the build graph.
+type Target struct {
+	ID   int
+	Deps []int
+	Size int // work units; varies widely (the load-balancing stressor)
+}
+
+// Project generates a deterministic DAG: target i may depend on up to 3
+// earlier targets; sizes follow a heavy-ish tail.
+func Project(cfg Config) []Target {
+	ts := make([]Target, cfg.Targets)
+	s := uint64(cfg.Seed)*0x9E3779B97F4A7C15 + 41
+	next := func(mod uint64) uint64 {
+		s = s*6364136223846793005 + 1442695040888963407
+		return (s >> 33) % mod
+	}
+	for i := range ts {
+		ts[i].ID = i
+		if i > 0 {
+			nd := int(next(4)) // 0..3 deps
+			seen := map[int]bool{}
+			for k := 0; k < nd; k++ {
+				d := int(next(uint64(i)))
+				if !seen[d] {
+					seen[d] = true
+					ts[i].Deps = append(ts[i].Deps, d)
+				}
+			}
+			sort.Ints(ts[i].Deps)
+		}
+		size := int(next(20)) + 1
+		if next(10) == 0 {
+			size *= 8 // occasional heavyweight target
+		}
+		ts[i].Size = size
+	}
+	return ts
+}
+
+// artifact computes the deterministic build product of a target given
+// its dependencies' artifacts — real work the checker re-derives.
+func artifact(t Target, deps map[int]uint64, seed int64) uint64 {
+	h := uint64(seed)*0x9E3779B97F4A7C15 + uint64(t.ID)*0xBF58476D1CE4E5B9
+	for _, d := range t.Deps {
+		h ^= deps[d]
+		h *= 1099511628211
+	}
+	for k := 0; k < t.Size; k++ {
+		h = h*6364136223846793005 + 1442695040888963407
+	}
+	return h
+}
+
+// Result summarizes a build.
+type Result struct {
+	Built     int
+	FinalHash uint64 // combined artifact hash
+	MaxQueue  int    // peak ready-queue depth at the master (diagnostic)
+}
+
+func combine(artifacts map[int]uint64, n int) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < n; i++ {
+		h ^= artifacts[i]
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Sequential builds in topological (index) order.
+func Sequential(cfg Config) (*Result, error) {
+	ts := Project(cfg)
+	arts := make(map[int]uint64, len(ts))
+	for _, t := range ts {
+		arts[t.ID] = artifact(t, arts, cfg.Seed)
+	}
+	return &Result{Built: len(ts), FinalHash: combine(arts, len(ts))}, nil
+}
+
+// Protocol tags and opcodes.
+const (
+	tagCtl = 150 // master -> worker: task assignment or stop
+	tagRes = 151 // worker -> master: artifact
+	tagBs  = 152 // master -> worker: dependency artifacts
+
+	opStop = -1
+)
+
+// Parallel runs the master/worker build. Rank 0 is the master and also
+// builds when all workers are busy (p == 1 degenerates to sequential).
+func Parallel(ctx *mpt.Ctx, cfg Config) (*Result, error) {
+	if ctx.Size() == 1 {
+		res, err := Sequential(cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range Project(cfg) {
+			ctx.Charge(OpsPerSizeUnit * float64(t.Size))
+		}
+		return res, nil
+	}
+	if ctx.Rank() == 0 {
+		return master(ctx, cfg)
+	}
+	return nil, worker(ctx, cfg)
+}
+
+func master(ctx *mpt.Ctx, cfg Config) (*Result, error) {
+	ts := Project(cfg)
+	n := len(ts)
+	arts := make(map[int]uint64, n)
+	pending := make(map[int]int, n) // unmet dep count
+	dependents := make(map[int][]int)
+	var ready []int
+	for _, t := range ts {
+		pending[t.ID] = len(t.Deps)
+		for _, d := range t.Deps {
+			dependents[d] = append(dependents[d], t.ID)
+		}
+		if len(t.Deps) == 0 {
+			ready = append(ready, t.ID)
+		}
+	}
+	idle := make([]int, 0, ctx.Size()-1)
+	for w := 1; w < ctx.Size(); w++ {
+		idle = append(idle, w)
+	}
+	busy := 0
+	built := 0
+	maxQueue := len(ready)
+
+	assign := func(w, id int) error {
+		t := ts[id]
+		// Ship the task id plus the artifacts of its dependencies.
+		payload := make([]int64, 0, 2+2*len(t.Deps))
+		payload = append(payload, int64(id), int64(len(t.Deps)))
+		for _, d := range t.Deps {
+			payload = append(payload, int64(d), int64(arts[d]))
+		}
+		return ctx.Comm.Send(w, tagCtl, mpt.EncodeInt64s(payload))
+	}
+	for built < n {
+		if len(ready) > maxQueue {
+			maxQueue = len(ready)
+		}
+		// Hand out work while both queues are non-empty.
+		for len(ready) > 0 && len(idle) > 0 {
+			id := ready[0]
+			ready = ready[1:]
+			w := idle[0]
+			idle = idle[1:]
+			if err := assign(w, id); err != nil {
+				return nil, fmt.Errorf("dmake assign %d to %d: %w", id, w, err)
+			}
+			busy++
+		}
+		var id int
+		var art uint64
+		switch {
+		case busy > 0:
+			// Wait for a completion.
+			msg, err := ctx.Comm.Recv(mpt.AnySource, tagRes)
+			if err != nil {
+				return nil, fmt.Errorf("dmake result: %w", err)
+			}
+			v, err := mpt.DecodeInt64s(msg.Data)
+			if err != nil {
+				return nil, err
+			}
+			id, art = int(v[0]), uint64(v[1])
+			idle = append(idle, msg.Src)
+			busy--
+		case len(ready) > 0:
+			// No workers busy and none idle (p==1 handled earlier); the
+			// master builds one itself.
+			id = ready[0]
+			ready = ready[1:]
+			t := ts[id]
+			art = artifact(t, arts, cfg.Seed)
+			ctx.Charge(OpsPerSizeUnit * float64(t.Size))
+		default:
+			return nil, fmt.Errorf("dmake: stalled with %d/%d built — dependency cycle?", built, n)
+		}
+		arts[id] = art
+		built++
+		for _, dep := range dependents[id] {
+			pending[dep]--
+			if pending[dep] == 0 {
+				ready = append(ready, dep)
+			}
+		}
+	}
+	// Stop the workers.
+	for w := 1; w < ctx.Size(); w++ {
+		if err := ctx.Comm.Send(w, tagCtl, mpt.EncodeInt64s([]int64{opStop})); err != nil {
+			return nil, fmt.Errorf("dmake stop %d: %w", w, err)
+		}
+	}
+	return &Result{Built: built, FinalHash: combine(arts, n), MaxQueue: maxQueue}, nil
+}
+
+func worker(ctx *mpt.Ctx, cfg Config) error {
+	ts := Project(cfg)
+	for {
+		msg, err := ctx.Comm.Recv(0, tagCtl)
+		if err != nil {
+			return fmt.Errorf("dmake worker recv: %w", err)
+		}
+		v, err := mpt.DecodeInt64s(msg.Data)
+		if err != nil {
+			return err
+		}
+		if v[0] == opStop {
+			return nil
+		}
+		id := int(v[0])
+		nd := int(v[1])
+		deps := make(map[int]uint64, nd)
+		for k := 0; k < nd; k++ {
+			deps[int(v[2+2*k])] = uint64(v[3+2*k])
+		}
+		t := ts[id]
+		art := artifact(t, deps, cfg.Seed)
+		ctx.Charge(OpsPerSizeUnit * float64(t.Size))
+		if err := ctx.Comm.Send(0, tagRes, mpt.EncodeInt64s([]int64{int64(id), int64(art)})); err != nil {
+			return fmt.Errorf("dmake worker send: %w", err)
+		}
+	}
+}
+
+// VerifyAgainstSequential checks the distributed build produced exactly
+// the sequential artifacts.
+func VerifyAgainstSequential(cfg Config, par *Result) error {
+	if par == nil {
+		return fmt.Errorf("dmake: nil parallel result")
+	}
+	seq, err := Sequential(cfg)
+	if err != nil {
+		return err
+	}
+	if par.Built != seq.Built {
+		return fmt.Errorf("dmake: built %d != %d", par.Built, seq.Built)
+	}
+	if par.FinalHash != seq.FinalHash {
+		return fmt.Errorf("dmake: artifact hash mismatch — a target built with wrong inputs")
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package dmake
+
+import (
+	"testing"
+)
+
+func TestProjectIsDAG(t *testing.T) {
+	ts := Project(Config{Targets: 100, Seed: 1})
+	for _, tgt := range ts {
+		for _, d := range tgt.Deps {
+			if d >= tgt.ID {
+				t.Fatalf("target %d depends on %d (not earlier) — cycle risk", tgt.ID, d)
+			}
+		}
+		if tgt.Size < 1 {
+			t.Fatalf("target %d has size %d", tgt.ID, tgt.Size)
+		}
+	}
+}
+
+func TestProjectHasParallelism(t *testing.T) {
+	ts := Project(Config{Targets: 100, Seed: 1})
+	roots := 0
+	for _, tgt := range ts {
+		if len(tgt.Deps) == 0 {
+			roots++
+		}
+	}
+	if roots < 2 {
+		t.Fatalf("only %d roots — no parallelism to exploit", roots)
+	}
+}
+
+func TestArtifactDependsOnDeps(t *testing.T) {
+	t1 := Target{ID: 5, Deps: []int{1}, Size: 3}
+	a := artifact(t1, map[int]uint64{1: 111}, 7)
+	b := artifact(t1, map[int]uint64{1: 222}, 7)
+	if a == b {
+		t.Fatal("artifact must change when a dependency's artifact changes")
+	}
+	c := artifact(t1, map[int]uint64{1: 111}, 7)
+	if a != c {
+		t.Fatal("artifact not deterministic")
+	}
+}
+
+func TestSequentialDeterministic(t *testing.T) {
+	a, err := Sequential(Config{Targets: 50, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sequential(Config{Targets: 50, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FinalHash != b.FinalHash || a.Built != 50 {
+		t.Fatalf("sequential build unstable: %+v vs %+v", a, b)
+	}
+}
+
+func TestDifferentSeedsDifferentBuilds(t *testing.T) {
+	a, err := Sequential(Config{Targets: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sequential(Config{Targets: 50, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FinalHash == b.FinalHash {
+		t.Fatal("different projects hashed identically")
+	}
+}

@@ -1,0 +1,361 @@
+// Package fft implements the two-dimensional Fast Fourier Transform
+// application of the paper's benchmark suite (§3.3: 1D FFTs over every
+// row, then every column; "a distributed 2D-FFT involves transfer of
+// large amounts of data between processors", which makes it the paper's
+// communication-stress application).
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+
+	"tooleval/internal/mpt"
+)
+
+// Cost model: a radix-2 complex FFT of length n costs ~5 n log2 n
+// floating-point operations; OpsPerFlop converts to host operations
+// (calibrated against the single-processor FFT times of Figures 5-8).
+const OpsPerFlop = 0.62
+
+// FFT1DFlops is the flop count charged for one length-n transform.
+func FFT1DFlops(n int) float64 {
+	if n < 2 {
+		return 0
+	}
+	return 5 * float64(n) * math.Log2(float64(n))
+}
+
+// FFT computes an in-place iterative radix-2 decimation-in-time FFT.
+// len(a) must be a power of two. inverse selects the inverse transform
+// (including the 1/n scaling).
+func FFT(a []complex128, inverse bool) error {
+	n := len(a)
+	if n == 0 || n&(n-1) != 0 {
+		return fmt.Errorf("fft: length %d is not a power of two", n)
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		ang := 2 * math.Pi / float64(size)
+		if !inverse {
+			ang = -ang
+		}
+		wn := cmplx.Exp(complex(0, ang))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < size/2; k++ {
+				u := a[start+k]
+				v := a[start+k+size/2] * w
+				a[start+k] = u + v
+				a[start+k+size/2] = u - v
+				w *= wn
+			}
+		}
+	}
+	if inverse {
+		inv := complex(1/float64(n), 0)
+		for i := range a {
+			a[i] *= inv
+		}
+	}
+	return nil
+}
+
+// Grid is a row-major N x N complex matrix.
+type Grid struct {
+	N    int
+	Data []complex128
+}
+
+// NewGrid allocates an N x N grid.
+func NewGrid(n int) *Grid { return &Grid{N: n, Data: make([]complex128, n*n)} }
+
+// Synthetic fills a grid with a deterministic mixture of plane waves and
+// pseudo-noise.
+func Synthetic(n int, seed int64) *Grid {
+	g := NewGrid(n)
+	s := uint64(seed)*0x9E3779B97F4A7C15 + 1
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			s = s*6364136223846793005 + 1442695040888963407
+			noise := float64(s>>61) / 8
+			g.Data[y*n+x] = complex(
+				math.Sin(2*math.Pi*3*float64(x)/float64(n))+0.5*math.Cos(2*math.Pi*5*float64(y)/float64(n))+noise,
+				0,
+			)
+		}
+	}
+	return g
+}
+
+// Row returns row y (aliased, not copied).
+func (g *Grid) Row(y int) []complex128 { return g.Data[y*g.N : (y+1)*g.N] }
+
+// Transpose returns the transposed grid.
+func (g *Grid) Transpose() *Grid {
+	out := NewGrid(g.N)
+	for y := 0; y < g.N; y++ {
+		for x := 0; x < g.N; x++ {
+			out.Data[x*g.N+y] = g.Data[y*g.N+x]
+		}
+	}
+	return out
+}
+
+// FFT2D computes the full 2D transform: FFT each row, transpose, FFT each
+// (former) column, transpose back.
+func FFT2D(g *Grid, inverse bool) error {
+	for y := 0; y < g.N; y++ {
+		if err := FFT(g.Row(y), inverse); err != nil {
+			return err
+		}
+	}
+	t := g.Transpose()
+	for y := 0; y < t.N; y++ {
+		if err := FFT(t.Row(y), inverse); err != nil {
+			return err
+		}
+	}
+	copy(g.Data, t.Transpose().Data)
+	return nil
+}
+
+// MaxAbsDiff reports the largest element-wise magnitude difference.
+func MaxAbsDiff(a, b *Grid) (float64, error) {
+	if a.N != b.N {
+		return 0, fmt.Errorf("fft: size mismatch %d vs %d", a.N, b.N)
+	}
+	var m float64
+	for i := range a.Data {
+		if d := cmplx.Abs(a.Data[i] - b.Data[i]); d > m {
+			m = d
+		}
+	}
+	return m, nil
+}
+
+// Config sizes the benchmark.
+type Config struct {
+	N    int
+	Seed int64
+}
+
+// DefaultConfig is the paper-scale workload (128x128 complex — the FFT
+// curves in Figures 5-8 are in the tens of milliseconds on the fast
+// platforms).
+func DefaultConfig() Config { return Config{N: 128, Seed: 17} }
+
+// Scaled shrinks the workload to the nearest power of two.
+func (c Config) Scaled(factor float64) Config {
+	n := int(float64(c.N) * factor)
+	p := 8
+	for p*2 <= n {
+		p *= 2
+	}
+	c.N = p
+	return c
+}
+
+// Result carries the transform output for verification and the
+// transform-phase timing (the paper's FFT curves exclude the initial
+// data distribution; the image-style scatter/collect phases belong to
+// the JPEG benchmark, §3.3).
+type Result struct {
+	Grid *Grid
+	// Seconds is the barrier-to-barrier time of the distributed
+	// transform (row FFTs + all-to-all transpose + column FFTs),
+	// measured on rank 0 after the closing barrier.
+	Seconds float64
+}
+
+// InnerSeconds reports the transform-phase timing; the benchmark harness
+// prefers it over the whole-body elapsed time when present.
+func (r *Result) InnerSeconds() (float64, bool) { return r.Seconds, r.Seconds > 0 }
+
+// Sequential computes the reference 2D FFT.
+func Sequential(cfg Config) (*Result, error) {
+	g := Synthetic(cfg.N, cfg.Seed)
+	if err := FFT2D(g, false); err != nil {
+		return nil, err
+	}
+	return &Result{Grid: g}, nil
+}
+
+// Parallel distributes row bands across ranks: each rank transforms its
+// rows, the grid is transposed with an all-to-all block exchange, each
+// rank transforms its new rows (former columns), and the result is
+// gathered on rank 0 in column-major (transposed) layout and transposed
+// back. Tags: 20 = scatter, 21 = all-to-all, 22 = gather.
+func Parallel(ctx *mpt.Ctx, cfg Config) (*Result, error) {
+	const (
+		tagScatter = 20
+		tagAll     = 21
+		tagGather  = 22
+	)
+	n, p, me := cfg.N, ctx.Size(), ctx.Rank()
+	if n%p != 0 {
+		return nil, fmt.Errorf("fft: N=%d not divisible by %d ranks", n, p)
+	}
+	rowsPer := n / p
+
+	// Scatter row bands.
+	var myRows []complex128
+	if me == 0 {
+		g := Synthetic(n, cfg.Seed)
+		for r := 1; r < p; r++ {
+			band := g.Data[r*rowsPer*n : (r+1)*rowsPer*n]
+			if err := ctx.Comm.Send(r, tagScatter, encodeComplex(band)); err != nil {
+				return nil, fmt.Errorf("fft scatter to %d: %w", r, err)
+			}
+		}
+		myRows = append([]complex128(nil), g.Data[:rowsPer*n]...)
+	} else {
+		msg, err := ctx.Comm.Recv(0, tagScatter)
+		if err != nil {
+			return nil, fmt.Errorf("fft scatter recv: %w", err)
+		}
+		myRows, err = decodeComplex(msg.Data)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// The timed region covers the transform only.
+	if err := ctx.Comm.Barrier(); err != nil {
+		return nil, fmt.Errorf("fft start barrier: %w", err)
+	}
+	t0 := ctx.Now()
+
+	// Row FFTs (real work + charge).
+	for r := 0; r < rowsPer; r++ {
+		if err := FFT(myRows[r*n:(r+1)*n], false); err != nil {
+			return nil, err
+		}
+	}
+	ctx.Charge(OpsPerFlop * float64(rowsPer) * FFT1DFlops(n))
+
+	// All-to-all transpose: block (me, q) goes to rank q.
+	blocks := make([][]complex128, p)
+	for q := 0; q < p; q++ {
+		blk := make([]complex128, rowsPer*rowsPer)
+		for r := 0; r < rowsPer; r++ {
+			copy(blk[r*rowsPer:(r+1)*rowsPer], myRows[r*n+q*rowsPer:r*n+(q+1)*rowsPer])
+		}
+		blocks[q] = blk
+	}
+	ctx.Charge(2 * float64(rowsPer*n)) // local block packing
+	for off := 1; off < p; off++ {
+		dst := (me + off) % p
+		if err := ctx.Comm.Send(dst, tagAll, encodeComplex(blocks[dst])); err != nil {
+			return nil, fmt.Errorf("fft all-to-all send to %d: %w", dst, err)
+		}
+	}
+	cols := make([]complex128, rowsPer*n) // my rows of the transposed grid
+	placeBlock := func(from int, blk []complex128) {
+		// blk is rows [me] block from rank `from`; transpose into my rows.
+		for r := 0; r < rowsPer; r++ {
+			for c := 0; c < rowsPer; c++ {
+				cols[c*n+from*rowsPer+r] = blk[r*rowsPer+c]
+			}
+		}
+	}
+	placeBlock(me, blocks[me])
+	for off := 1; off < p; off++ {
+		src := (me + p - off) % p
+		msg, err := ctx.Comm.Recv(src, tagAll)
+		if err != nil {
+			return nil, fmt.Errorf("fft all-to-all recv from %d: %w", src, err)
+		}
+		blk, err := decodeComplex(msg.Data)
+		if err != nil {
+			return nil, err
+		}
+		placeBlock(src, blk)
+	}
+	ctx.Charge(2 * float64(rowsPer*n)) // local block unpacking
+
+	// Column FFTs (rows of the transposed grid).
+	for r := 0; r < rowsPer; r++ {
+		if err := FFT(cols[r*n:(r+1)*n], false); err != nil {
+			return nil, err
+		}
+	}
+	ctx.Charge(OpsPerFlop * float64(rowsPer) * FFT1DFlops(n))
+
+	if err := ctx.Comm.Barrier(); err != nil {
+		return nil, fmt.Errorf("fft end barrier: %w", err)
+	}
+	elapsed := (ctx.Now() - t0).Seconds()
+
+	// Gather the transposed result on rank 0 (outside the timed region:
+	// verification traffic, not part of the benchmarked transform).
+	if me != 0 {
+		return nil, ctx.Comm.Send(0, tagGather, encodeComplex(cols))
+	}
+	full := NewGrid(n)
+	copy(full.Data[:rowsPer*n], cols)
+	for r := 1; r < p; r++ {
+		msg, err := ctx.Comm.Recv(r, tagGather)
+		if err != nil {
+			return nil, fmt.Errorf("fft gather recv from %d: %w", r, err)
+		}
+		band, err := decodeComplex(msg.Data)
+		if err != nil {
+			return nil, err
+		}
+		copy(full.Data[r*rowsPer*n:(r+1)*rowsPer*n], band)
+	}
+	return &Result{Grid: full.Transpose(), Seconds: elapsed}, nil
+}
+
+// VerifyAgainstSequential checks the distributed transform against the
+// reference.
+func VerifyAgainstSequential(cfg Config, par *Result) error {
+	if par == nil || par.Grid == nil {
+		return fmt.Errorf("fft: nil parallel result")
+	}
+	seq, err := Sequential(cfg)
+	if err != nil {
+		return err
+	}
+	d, err := MaxAbsDiff(seq.Grid, par.Grid)
+	if err != nil {
+		return err
+	}
+	if d > 1e-6 {
+		return fmt.Errorf("fft: parallel result diverges from sequential by %g", d)
+	}
+	return nil
+}
+
+func encodeComplex(v []complex128) []byte {
+	fs := make([]float64, 2*len(v))
+	for i, c := range v {
+		fs[2*i] = real(c)
+		fs[2*i+1] = imag(c)
+	}
+	return mpt.EncodeFloat64s(fs)
+}
+
+func decodeComplex(data []byte) ([]complex128, error) {
+	fs, err := mpt.DecodeFloat64s(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(fs)%2 != 0 {
+		return nil, fmt.Errorf("fft: odd float count %d", len(fs))
+	}
+	out := make([]complex128, len(fs)/2)
+	for i := range out {
+		out[i] = complex(fs[2*i], fs[2*i+1])
+	}
+	return out, nil
+}

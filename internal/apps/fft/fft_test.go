@@ -1,0 +1,173 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFFTKnownValues(t *testing.T) {
+	// FFT of a constant signal: all energy in bin 0.
+	a := []complex128{1, 1, 1, 1}
+	if err := FFT(a, false); err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(a[0]-4) > 1e-12 {
+		t.Fatalf("bin 0 = %v, want 4", a[0])
+	}
+	for i := 1; i < 4; i++ {
+		if cmplx.Abs(a[i]) > 1e-12 {
+			t.Fatalf("bin %d = %v, want 0", i, a[i])
+		}
+	}
+}
+
+func TestFFTSingleTone(t *testing.T) {
+	// A pure complex exponential at frequency k lands in bin k.
+	const n, k = 64, 5
+	a := make([]complex128, n)
+	for i := range a {
+		a[i] = cmplx.Exp(complex(0, 2*math.Pi*k*float64(i)/n))
+	}
+	if err := FFT(a, false); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		want := 0.0
+		if i == k {
+			want = n
+		}
+		if math.Abs(cmplx.Abs(a[i])-want) > 1e-9 {
+			t.Fatalf("bin %d magnitude = %f, want %f", i, cmplx.Abs(a[i]), want)
+		}
+	}
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	if err := FFT(make([]complex128, 12), false); err == nil {
+		t.Fatal("length 12 should be rejected")
+	}
+	if err := FFT(nil, false); err == nil {
+		t.Fatal("empty should be rejected")
+	}
+}
+
+// Property: inverse(forward(x)) == x.
+func TestPropertyFFTInverse(t *testing.T) {
+	prop := func(seed int64, szRaw uint8) bool {
+		n := 1 << (uint(szRaw%7) + 1) // 2..128
+		rng := rand.New(rand.NewSource(seed))
+		a := make([]complex128, n)
+		orig := make([]complex128, n)
+		for i := range a {
+			a[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+			orig[i] = a[i]
+		}
+		if err := FFT(a, false); err != nil {
+			return false
+		}
+		if err := FFT(a, true); err != nil {
+			return false
+		}
+		for i := range a {
+			if cmplx.Abs(a[i]-orig[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Parseval's theorem — energy is preserved (up to the 1/n
+// convention).
+func TestPropertyParseval(t *testing.T) {
+	prop := func(seed int64) bool {
+		const n = 64
+		rng := rand.New(rand.NewSource(seed))
+		a := make([]complex128, n)
+		var timeEnergy float64
+		for i := range a {
+			a[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+			timeEnergy += real(a[i])*real(a[i]) + imag(a[i])*imag(a[i])
+		}
+		if err := FFT(a, false); err != nil {
+			return false
+		}
+		var freqEnergy float64
+		for i := range a {
+			freqEnergy += real(a[i])*real(a[i]) + imag(a[i])*imag(a[i])
+		}
+		return math.Abs(freqEnergy/float64(n)-timeEnergy) < 1e-6*timeEnergy+1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFT2DInverse(t *testing.T) {
+	g := Synthetic(32, 3)
+	orig := append([]complex128(nil), g.Data...)
+	if err := FFT2D(g, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := FFT2D(g, true); err != nil {
+		t.Fatal(err)
+	}
+	for i := range g.Data {
+		if cmplx.Abs(g.Data[i]-orig[i]) > 1e-9 {
+			t.Fatalf("2D round trip diverged at %d", i)
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	g := NewGrid(3)
+	for i := range g.Data {
+		g.Data[i] = complex(float64(i), 0)
+	}
+	tr := g.Transpose()
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 3; x++ {
+			if tr.Data[x*3+y] != g.Data[y*3+x] {
+				t.Fatalf("transpose wrong at (%d,%d)", y, x)
+			}
+		}
+	}
+}
+
+func TestEncodeDecodeComplex(t *testing.T) {
+	v := []complex128{complex(1, -2), complex(0.5, math.Pi)}
+	got, err := decodeComplex(encodeComplex(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range v {
+		if got[i] != v[i] {
+			t.Fatalf("complex codec round trip: %v vs %v", got[i], v[i])
+		}
+	}
+}
+
+func TestScaledConfigPowerOfTwo(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, f := range []float64{1, 0.5, 0.3, 0.1} {
+		s := cfg.Scaled(f)
+		if s.N&(s.N-1) != 0 || s.N < 8 {
+			t.Fatalf("Scaled(%f).N = %d not a power of two >= 8", f, s.N)
+		}
+	}
+}
+
+func TestFFT1DFlopsFormula(t *testing.T) {
+	if got := FFT1DFlops(1024); math.Abs(got-5*1024*10) > 1e-9 {
+		t.Fatalf("FFT1DFlops(1024) = %f, want %f", got, 5.0*1024*10)
+	}
+	if FFT1DFlops(1) != 0 {
+		t.Fatal("FFT1DFlops(1) should be 0")
+	}
+}

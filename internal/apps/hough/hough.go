@@ -1,0 +1,213 @@
+// Package hough implements the Hough Transform application of the SU
+// PDABS suite (Table 2, Signal/Image Processing): straight-line detection
+// via the (ρ, θ) accumulator, image rows scattered across processors and
+// the accumulators summed — the classic reduce-heavy vision kernel.
+package hough
+
+import (
+	"fmt"
+	"math"
+
+	"tooleval/internal/mpt"
+)
+
+// Cost model: per edge pixel per θ bin (sin/cos from a table + bin
+// increment).
+const OpsPerVote = 6.0
+
+// Config sizes the benchmark.
+type Config struct {
+	W, H      int
+	ThetaBins int
+	RhoBins   int
+	Seed      int64
+}
+
+// DefaultConfig transforms a 256x256 edge map over a 180x362 accumulator.
+func DefaultConfig() Config { return Config{W: 256, H: 256, ThetaBins: 180, RhoBins: 362, Seed: 79} }
+
+// Scaled shrinks the image.
+func (c Config) Scaled(factor float64) Config {
+	c.W = int(float64(c.W) * factor)
+	c.H = int(float64(c.H) * factor)
+	if c.W < 32 {
+		c.W = 32
+	}
+	if c.H < 32 {
+		c.H = 32
+	}
+	return c
+}
+
+// EdgeMap generates a deterministic binary edge image containing known
+// lines plus salt noise.
+func EdgeMap(cfg Config) []byte {
+	img := make([]byte, cfg.W*cfg.H)
+	// Three lines: horizontal, vertical, diagonal.
+	for x := 0; x < cfg.W; x++ {
+		img[(cfg.H/3)*cfg.W+x] = 1
+		if x < cfg.H {
+			img[x*cfg.W+x*cfg.W/cfg.W] = 1 // diagonal y == x
+		}
+	}
+	for y := 0; y < cfg.H; y++ {
+		img[y*cfg.W+cfg.W/4] = 1
+	}
+	s := uint64(cfg.Seed)*0x9E3779B97F4A7C15 + 31
+	for i := 0; i < cfg.W*cfg.H/200; i++ {
+		s = s*6364136223846793005 + 1442695040888963407
+		img[s%uint64(len(img))] = 1
+	}
+	return img
+}
+
+// Result carries the accumulator summary.
+type Result struct {
+	Votes   int64
+	PeakVal int32
+	PeakRho int
+	PeakTht int
+	Accum32 uint64 // FNV of the accumulator for exact comparison
+}
+
+// accumulate votes rows [y0, y1) into acc (RhoBins x ThetaBins).
+func accumulate(cfg Config, img []byte, y0, y1 int, acc []int32) int64 {
+	sinT := make([]float64, cfg.ThetaBins)
+	cosT := make([]float64, cfg.ThetaBins)
+	for t := 0; t < cfg.ThetaBins; t++ {
+		ang := float64(t) * math.Pi / float64(cfg.ThetaBins)
+		sinT[t], cosT[t] = math.Sin(ang), math.Cos(ang)
+	}
+	rhoMax := math.Hypot(float64(cfg.W), float64(cfg.H))
+	var votes int64
+	for y := y0; y < y1; y++ {
+		for x := 0; x < cfg.W; x++ {
+			if img[y*cfg.W+x] == 0 {
+				continue
+			}
+			for t := 0; t < cfg.ThetaBins; t++ {
+				rho := float64(x)*cosT[t] + float64(y)*sinT[t]
+				bin := int((rho + rhoMax) / (2 * rhoMax) * float64(cfg.RhoBins-1))
+				acc[bin*cfg.ThetaBins+t]++
+				votes++
+			}
+		}
+	}
+	return votes
+}
+
+func summarize(cfg Config, acc []int32, votes int64) *Result {
+	r := &Result{Votes: votes}
+	hash := uint64(14695981039346656037)
+	for i, v := range acc {
+		if v > r.PeakVal {
+			r.PeakVal = v
+			r.PeakRho = i / cfg.ThetaBins
+			r.PeakTht = i % cfg.ThetaBins
+		}
+		hash ^= uint64(uint32(v))
+		hash *= 1099511628211
+	}
+	r.Accum32 = hash
+	return r
+}
+
+// Sequential transforms the whole image.
+func Sequential(cfg Config) (*Result, error) {
+	img := EdgeMap(cfg)
+	acc := make([]int32, cfg.RhoBins*cfg.ThetaBins)
+	votes := accumulate(cfg, img, 0, cfg.H, acc)
+	return summarize(cfg, acc, votes), nil
+}
+
+func rowShare(n, p, r int) (lo, hi int) {
+	base, rem := n/p, n%p
+	lo = r*base + min(r, rem)
+	hi = lo + base
+	if r < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Parallel scatters row bands from rank 0 and reduces the partial
+// accumulators with the tool's global sum (manual fallback for PVM —
+// this is the suite app that leans hardest on the reduction primitive).
+// Tags: 120 = band.
+func Parallel(ctx *mpt.Ctx, cfg Config) (*Result, error) {
+	const tagBand = 120
+	p, me := ctx.Size(), ctx.Rank()
+	lo, hi := rowShare(cfg.H, p, me)
+
+	var band []byte
+	if me == 0 {
+		img := EdgeMap(cfg)
+		for r := 1; r < p; r++ {
+			rlo, rhi := rowShare(cfg.H, p, r)
+			if err := ctx.Comm.Send(r, tagBand, img[rlo*cfg.W:rhi*cfg.W]); err != nil {
+				return nil, fmt.Errorf("hough scatter to %d: %w", r, err)
+			}
+		}
+		band = img[lo*cfg.W : hi*cfg.W]
+	} else {
+		msg, err := ctx.Comm.Recv(0, tagBand)
+		if err != nil {
+			return nil, fmt.Errorf("hough band recv: %w", err)
+		}
+		band = msg.Data
+	}
+
+	acc := make([]int32, cfg.RhoBins*cfg.ThetaBins)
+	// accumulate expects global row coordinates; band starts at row lo.
+	full := make([]byte, cfg.W*cfg.H)
+	copy(full[lo*cfg.W:], band)
+	votes := accumulate(cfg, full, lo, hi, acc)
+	ctx.Charge(OpsPerVote * float64(votes))
+
+	// Reduce accumulators + vote counts across ranks.
+	vec := make([]float64, len(acc)+1)
+	for i, v := range acc {
+		vec[i] = float64(v)
+	}
+	vec[len(acc)] = float64(votes)
+	sum, err := mpt.SumFloat64(ctx.Comm, vec)
+	if err != nil {
+		return nil, fmt.Errorf("hough reduce: %w", err)
+	}
+	if me != 0 {
+		return nil, nil
+	}
+	for i := range acc {
+		acc[i] = int32(sum[i])
+	}
+	return summarize(cfg, acc, int64(sum[len(acc)])), nil
+}
+
+// VerifyAgainstSequential demands bit-identical accumulators.
+func VerifyAgainstSequential(cfg Config, par *Result) error {
+	if par == nil {
+		return fmt.Errorf("hough: nil parallel result")
+	}
+	seq, err := Sequential(cfg)
+	if err != nil {
+		return err
+	}
+	if par.Votes != seq.Votes {
+		return fmt.Errorf("hough: votes %d != %d", par.Votes, seq.Votes)
+	}
+	if par.Accum32 != seq.Accum32 {
+		return fmt.Errorf("hough: accumulator hash mismatch")
+	}
+	if par.PeakVal != seq.PeakVal || par.PeakRho != seq.PeakRho || par.PeakTht != seq.PeakTht {
+		return fmt.Errorf("hough: peak (%d,%d,%d) != (%d,%d,%d)",
+			par.PeakVal, par.PeakRho, par.PeakTht, seq.PeakVal, seq.PeakRho, seq.PeakTht)
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package hough
+
+import (
+	"testing"
+)
+
+func TestEdgeMapHasStructure(t *testing.T) {
+	cfg := Config{W: 64, H: 64, ThetaBins: 90, RhoBins: 128, Seed: 1}
+	img := EdgeMap(cfg)
+	edges := 0
+	for _, v := range img {
+		if v != 0 {
+			edges++
+		}
+	}
+	if edges < cfg.W { // at least the horizontal line
+		t.Fatalf("edge map has only %d edge pixels", edges)
+	}
+}
+
+func TestSequentialPeakIsALine(t *testing.T) {
+	cfg := Config{W: 64, H: 64, ThetaBins: 90, RhoBins: 128, Seed: 1}
+	res, err := Sequential(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The strongest accumulator cell must collect at least half of one
+	// full line's votes (the seeded lines are W or H pixels long).
+	if int(res.PeakVal) < cfg.W/2 {
+		t.Fatalf("peak %d too weak for a %d-pixel line", res.PeakVal, cfg.W)
+	}
+	if res.Votes == 0 {
+		t.Fatal("no votes cast")
+	}
+}
+
+func TestAccumulateRowsAdditive(t *testing.T) {
+	cfg := Config{W: 32, H: 32, ThetaBins: 45, RhoBins: 64, Seed: 2}
+	img := EdgeMap(cfg)
+	whole := make([]int32, cfg.RhoBins*cfg.ThetaBins)
+	vw := accumulate(cfg, img, 0, cfg.H, whole)
+	parts := make([]int32, cfg.RhoBins*cfg.ThetaBins)
+	var vp int64
+	for y := 0; y < cfg.H; y += 8 {
+		vp += accumulate(cfg, img, y, y+8, parts)
+	}
+	if vw != vp {
+		t.Fatalf("votes: whole %d != parts %d", vw, vp)
+	}
+	for i := range whole {
+		if whole[i] != parts[i] {
+			t.Fatalf("accumulator differs at %d: %d vs %d", i, whole[i], parts[i])
+		}
+	}
+}
+
+func TestSequentialDeterministic(t *testing.T) {
+	cfg := Config{W: 48, H: 48, ThetaBins: 60, RhoBins: 96, Seed: 3}
+	a, err := Sequential(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sequential(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Accum32 != b.Accum32 || a.PeakVal != b.PeakVal {
+		t.Fatal("hough not deterministic")
+	}
+}

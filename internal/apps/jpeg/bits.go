@@ -1,0 +1,137 @@
+package jpeg
+
+import "fmt"
+
+// bitWriter packs MSB-first bit strings into a byte stream.
+type bitWriter struct {
+	buf  []byte
+	acc  uint32
+	nacc int
+}
+
+func (w *bitWriter) write(code uint32, nbits int) {
+	if nbits == 0 {
+		return
+	}
+	w.acc = w.acc<<uint(nbits) | (code & (1<<uint(nbits) - 1))
+	w.nacc += nbits
+	for w.nacc >= 8 {
+		w.nacc -= 8
+		w.buf = append(w.buf, byte(w.acc>>uint(w.nacc)))
+	}
+}
+
+// flush pads the final partial byte with ones (as JPEG does).
+func (w *bitWriter) flush() []byte {
+	if w.nacc > 0 {
+		pad := 8 - w.nacc
+		w.write(1<<uint(pad)-1, pad)
+	}
+	return w.buf
+}
+
+// bitReader consumes MSB-first bit strings.
+type bitReader struct {
+	buf []byte
+	pos int // bit position
+}
+
+func (r *bitReader) read(nbits int) (uint32, error) {
+	var v uint32
+	for i := 0; i < nbits; i++ {
+		byteIdx := r.pos >> 3
+		if byteIdx >= len(r.buf) {
+			return 0, fmt.Errorf("jpeg: bitstream exhausted at bit %d", r.pos)
+		}
+		bit := (r.buf[byteIdx] >> uint(7-r.pos&7)) & 1
+		v = v<<1 | uint32(bit)
+		r.pos++
+	}
+	return v, nil
+}
+
+// huffTable is a canonical Huffman code table built from a spec.
+type huffTable struct {
+	codes map[byte]huffCode // symbol -> code
+	// decode lookup: sorted (length, code) -> symbol
+	byLen [17]map[uint32]byte
+}
+
+type huffCode struct {
+	code uint32
+	bits int
+}
+
+func buildHuffTable(spec huffSpec) *huffTable {
+	t := &huffTable{codes: make(map[byte]huffCode, len(spec.values))}
+	for i := range t.byLen {
+		t.byLen[i] = make(map[uint32]byte)
+	}
+	code := uint32(0)
+	vi := 0
+	for length := 1; length <= 16; length++ {
+		for k := 0; k < spec.counts[length-1]; k++ {
+			sym := spec.values[vi]
+			vi++
+			t.codes[sym] = huffCode{code: code, bits: length}
+			t.byLen[length][code] = sym
+			code++
+		}
+		code <<= 1
+	}
+	return t
+}
+
+func (t *huffTable) encode(w *bitWriter, sym byte) error {
+	c, ok := t.codes[sym]
+	if !ok {
+		return fmt.Errorf("jpeg: symbol %#x not in Huffman table", sym)
+	}
+	w.write(c.code, c.bits)
+	return nil
+}
+
+func (t *huffTable) decode(r *bitReader) (byte, error) {
+	var code uint32
+	for length := 1; length <= 16; length++ {
+		b, err := r.read(1)
+		if err != nil {
+			return 0, err
+		}
+		code = code<<1 | b
+		if sym, ok := t.byLen[length][code]; ok {
+			return sym, nil
+		}
+	}
+	return 0, fmt.Errorf("jpeg: invalid Huffman code")
+}
+
+// magnitude category encoding: JPEG represents a signed value as
+// (category = bit length of |v|, then the bits; negative values as
+// one's-complement).
+func magnitude(v int) (cat int, bits uint32) {
+	a := v
+	if a < 0 {
+		a = -a
+	}
+	for a > 0 {
+		cat++
+		a >>= 1
+	}
+	if v >= 0 {
+		bits = uint32(v)
+	} else {
+		bits = uint32(v-1) & (1<<uint(cat) - 1)
+	}
+	return cat, bits
+}
+
+func demagnitude(cat int, bits uint32) int {
+	if cat == 0 {
+		return 0
+	}
+	if bits>>(uint(cat)-1) != 0 {
+		return int(bits) // positive
+	}
+	return int(bits) - (1 << uint(cat)) + 1
+}

@@ -1,0 +1,75 @@
+package jpeg
+
+import "math"
+
+// Real 8x8 forward and inverse DCT-II, the transform at the heart of the
+// JPEG compression application of the paper's benchmark suite (§3.3:
+// "JPEG standards are based on DCT").
+
+const blockSize = 8
+
+// dctCos[u][x] = cos((2x+1)uπ/16) precomputed.
+var dctCos = func() [blockSize][blockSize]float64 {
+	var c [blockSize][blockSize]float64
+	for u := 0; u < blockSize; u++ {
+		for x := 0; x < blockSize; x++ {
+			c[u][x] = math.Cos(float64(2*x+1) * float64(u) * math.Pi / 16)
+		}
+	}
+	return c
+}()
+
+func alpha(u int) float64 {
+	if u == 0 {
+		return 1 / math.Sqrt2
+	}
+	return 1
+}
+
+// forwardDCT transforms an 8x8 block of level-shifted samples into DCT
+// coefficients.
+func forwardDCT(in *[blockSize * blockSize]float64, out *[blockSize * blockSize]float64) {
+	// Row-column decomposition: 1D DCT on rows, then on columns.
+	var tmp [blockSize * blockSize]float64
+	for y := 0; y < blockSize; y++ {
+		for u := 0; u < blockSize; u++ {
+			var s float64
+			for x := 0; x < blockSize; x++ {
+				s += in[y*blockSize+x] * dctCos[u][x]
+			}
+			tmp[y*blockSize+u] = s * alpha(u) / 2
+		}
+	}
+	for u := 0; u < blockSize; u++ {
+		for v := 0; v < blockSize; v++ {
+			var s float64
+			for y := 0; y < blockSize; y++ {
+				s += tmp[y*blockSize+u] * dctCos[v][y]
+			}
+			out[v*blockSize+u] = s * alpha(v) / 2
+		}
+	}
+}
+
+// inverseDCT reverses forwardDCT.
+func inverseDCT(in *[blockSize * blockSize]float64, out *[blockSize * blockSize]float64) {
+	var tmp [blockSize * blockSize]float64
+	for v := 0; v < blockSize; v++ {
+		for x := 0; x < blockSize; x++ {
+			var s float64
+			for u := 0; u < blockSize; u++ {
+				s += alpha(u) * in[v*blockSize+u] * dctCos[u][x]
+			}
+			tmp[v*blockSize+x] = s / 2
+		}
+	}
+	for x := 0; x < blockSize; x++ {
+		for y := 0; y < blockSize; y++ {
+			var s float64
+			for v := 0; v < blockSize; v++ {
+				s += alpha(v) * tmp[v*blockSize+x] * dctCos[v][y]
+			}
+			out[y*blockSize+x] = s / 2
+		}
+	}
+}

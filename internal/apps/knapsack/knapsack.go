@@ -1,0 +1,214 @@
+// Package knapsack implements the Branch and Bound application of the SU
+// PDABS suite (Table 2, Simulation/Optimization): exact 0/1 knapsack by
+// depth-first branch and bound with the fractional (greedy) upper bound.
+// The top two decision levels are partitioned across processors — four
+// subtrees dealt cyclically — and rank 0 reduces the incumbents.
+package knapsack
+
+import (
+	"fmt"
+	"sort"
+
+	"tooleval/internal/mpt"
+)
+
+// OpsPerNode is the cost per search-tree node (bound evaluation).
+const OpsPerNode = 25.0
+
+// Config sizes the benchmark.
+type Config struct {
+	Items    int
+	Capacity int
+	Seed     int64
+}
+
+// DefaultConfig packs 40 items.
+func DefaultConfig() Config { return Config{Items: 40, Capacity: 0, Seed: 97} }
+
+// Scaled shrinks the item count.
+func (c Config) Scaled(factor float64) Config {
+	c.Items = int(float64(c.Items) * factor)
+	if c.Items < 10 {
+		c.Items = 10
+	}
+	return c
+}
+
+type item struct {
+	value, weight int
+}
+
+// instance generates items (sorted by value density, as B&B requires)
+// and a capacity at ~40% of total weight.
+func instance(cfg Config) ([]item, int) {
+	items := make([]item, cfg.Items)
+	s := uint64(cfg.Seed)*0x9E3779B97F4A7C15 + 43
+	next := func(mod uint64) int {
+		s = s*6364136223846793005 + 1442695040888963407
+		return int((s >> 33) % mod)
+	}
+	totalW := 0
+	for i := range items {
+		items[i] = item{value: next(900) + 100, weight: next(90) + 10}
+		totalW += items[i].weight
+	}
+	sort.SliceStable(items, func(a, b int) bool {
+		return items[a].value*items[b].weight > items[b].value*items[a].weight
+	})
+	cap_ := cfg.Capacity
+	if cap_ <= 0 {
+		cap_ = totalW * 2 / 5
+	}
+	return items, cap_
+}
+
+// Result is the optimum.
+type Result struct {
+	Items     int
+	BestValue int
+	Weight    int
+	Nodes     int64
+}
+
+type solver struct {
+	items []item
+	cap   int
+	best  int
+	nodes int64
+}
+
+// upperBound is the fractional relaxation from item k with remaining
+// capacity.
+func (s *solver) upperBound(k, value, room int) float64 {
+	ub := float64(value)
+	for ; k < len(s.items) && room > 0; k++ {
+		it := s.items[k]
+		if it.weight <= room {
+			room -= it.weight
+			ub += float64(it.value)
+			continue
+		}
+		ub += float64(it.value) * float64(room) / float64(it.weight)
+		break
+	}
+	return ub
+}
+
+func (s *solver) dfs(k, value, room int) {
+	s.nodes++
+	if value > s.best {
+		s.best = value
+	}
+	if k == len(s.items) || room == 0 {
+		return
+	}
+	if s.upperBound(k, value, room) <= float64(s.best) {
+		return
+	}
+	if s.items[k].weight <= room {
+		s.dfs(k+1, value+s.items[k].value, room-s.items[k].weight)
+	}
+	s.dfs(k+1, value, room)
+}
+
+// subtree fixes the first two take/leave decisions: subtree id b in
+// 0..3 encodes (take item 0, take item 1) bits. It returns false if the
+// subtree is infeasible.
+func (s *solver) subtree(b int) bool {
+	value, room := 0, s.cap
+	for bit := 0; bit < 2 && bit < len(s.items); bit++ {
+		if b&(1<<bit) != 0 {
+			if s.items[bit].weight > room {
+				return false
+			}
+			value += s.items[bit].value
+			room -= s.items[bit].weight
+		}
+	}
+	start := 2
+	if len(s.items) < 2 {
+		start = len(s.items)
+	}
+	s.dfs(start, value, room)
+	return true
+}
+
+// Sequential solves the reference instance.
+func Sequential(cfg Config) (*Result, error) {
+	items, cap_ := instance(cfg)
+	s := &solver{items: items, cap: cap_}
+	for b := 0; b < 4; b++ {
+		s.subtree(b)
+	}
+	return &Result{Items: cfg.Items, BestValue: s.best, Nodes: s.nodes}, nil
+}
+
+// Parallel partitions the four top-level subtrees cyclically and reduces
+// the incumbents at rank 0. Tag: 160.
+func Parallel(ctx *mpt.Ctx, cfg Config) (*Result, error) {
+	const tagRes = 160
+	p, me := ctx.Size(), ctx.Rank()
+	items, cap_ := instance(cfg)
+	s := &solver{items: items, cap: cap_}
+	for b := me; b < 4; b += p {
+		s.subtree(b)
+	}
+	ctx.Charge(OpsPerNode * float64(s.nodes))
+
+	enc := mpt.EncodeInt64s([]int64{int64(s.best), s.nodes})
+	if me != 0 {
+		return nil, ctx.Comm.Send(0, tagRes, enc)
+	}
+	best, nodes := s.best, s.nodes
+	for r := 1; r < p; r++ {
+		msg, err := ctx.Comm.Recv(r, tagRes)
+		if err != nil {
+			return nil, fmt.Errorf("knapsack reduce from %d: %w", r, err)
+		}
+		v, err := mpt.DecodeInt64s(msg.Data)
+		if err != nil {
+			return nil, err
+		}
+		if int(v[0]) > best {
+			best = int(v[0])
+		}
+		nodes += v[1]
+	}
+	return &Result{Items: cfg.Items, BestValue: best, Nodes: nodes}, nil
+}
+
+// VerifyAgainstSequential checks the partitioned search found the same
+// optimum, and audits it against dynamic programming for small
+// instances.
+func VerifyAgainstSequential(cfg Config, par *Result) error {
+	if par == nil {
+		return fmt.Errorf("knapsack: nil parallel result")
+	}
+	seq, err := Sequential(cfg)
+	if err != nil {
+		return err
+	}
+	if par.BestValue != seq.BestValue {
+		return fmt.Errorf("knapsack: optimum %d != %d", par.BestValue, seq.BestValue)
+	}
+	items, cap_ := instance(cfg)
+	if cfg.Items <= 48 {
+		if dp := dpSolve(items, cap_); dp != par.BestValue {
+			return fmt.Errorf("knapsack: B&B optimum %d != DP optimum %d", par.BestValue, dp)
+		}
+	}
+	return nil
+}
+
+// dpSolve is the O(n·cap) dynamic program used as an independent oracle.
+func dpSolve(items []item, cap_ int) int {
+	dp := make([]int, cap_+1)
+	for _, it := range items {
+		for w := cap_; w >= it.weight; w-- {
+			if v := dp[w-it.weight] + it.value; v > dp[w] {
+				dp[w] = v
+			}
+		}
+	}
+	return dp[cap_]
+}

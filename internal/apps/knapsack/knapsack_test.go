@@ -1,0 +1,78 @@
+package knapsack
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSequentialMatchesDP(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		cfg := Config{Items: 24, Seed: seed}
+		res, err := Sequential(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		items, cap_ := instance(cfg)
+		if dp := dpSolve(items, cap_); dp != res.BestValue {
+			t.Fatalf("seed %d: B&B %d != DP %d", seed, res.BestValue, dp)
+		}
+	}
+}
+
+func TestUpperBoundAdmissible(t *testing.T) {
+	prop := func(seed int64) bool {
+		cfg := Config{Items: 16, Seed: seed}
+		items, cap_ := instance(cfg)
+		s := &solver{items: items, cap: cap_}
+		opt := dpSolve(items, cap_)
+		// Root bound must dominate the optimum.
+		return s.upperBound(0, 0, cap_) >= float64(opt)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestItemsSortedByDensity(t *testing.T) {
+	items, _ := instance(Config{Items: 30, Seed: 3})
+	for i := 1; i < len(items); i++ {
+		// v[i-1]/w[i-1] >= v[i]/w[i], cross-multiplied.
+		if items[i-1].value*items[i].weight < items[i].value*items[i-1].weight {
+			t.Fatalf("density order broken at %d", i)
+		}
+	}
+}
+
+func TestSubtreePartitionCoversSearch(t *testing.T) {
+	cfg := Config{Items: 18, Seed: 5}
+	items, cap_ := instance(cfg)
+	whole := &solver{items: items, cap: cap_}
+	for b := 0; b < 4; b++ {
+		whole.subtree(b)
+	}
+	// Solving the four subtrees independently finds the same optimum.
+	best := 0
+	for b := 0; b < 4; b++ {
+		s := &solver{items: items, cap: cap_}
+		s.subtree(b)
+		if s.best > best {
+			best = s.best
+		}
+	}
+	if best != whole.best {
+		t.Fatalf("partitioned best %d != whole %d", best, whole.best)
+	}
+}
+
+func TestBoundPrunes(t *testing.T) {
+	cfg := Config{Items: 26, Seed: 7}
+	items, cap_ := instance(cfg)
+	s := &solver{items: items, cap: cap_}
+	for b := 0; b < 4; b++ {
+		s.subtree(b)
+	}
+	// Exhaustive tree would have ~2^26 nodes; pruning must slash that.
+	if s.nodes > 1<<20 {
+		t.Fatalf("B&B expanded %d nodes — bound not pruning", s.nodes)
+	}
+}

@@ -1,0 +1,229 @@
+// Package linsolve implements the Linear Equation Solver application of
+// the SU PDABS suite (Table 2, Numerical Algorithms): Jacobi iteration on
+// a diagonally dominant system, with the iterate re-broadcast each sweep
+// — a fixed, regular communication pattern per phase, the paper's §2.1
+// "computational phases" in their purest form.
+package linsolve
+
+import (
+	"fmt"
+	"math"
+
+	"tooleval/internal/mpt"
+)
+
+// Cost model constants.
+const (
+	OpsPerMAC    = 2.2
+	OpsPerUpdate = 6.0
+)
+
+// Config sizes the benchmark.
+type Config struct {
+	N         int
+	Sweeps    int
+	Tolerance float64
+	Seed      int64
+}
+
+// DefaultConfig solves a 512-unknown system.
+func DefaultConfig() Config { return Config{N: 512, Sweeps: 60, Tolerance: 1e-8, Seed: 47} }
+
+// Scaled shrinks the system.
+func (c Config) Scaled(factor float64) Config {
+	c.N = int(float64(c.N) * factor)
+	if c.N < 16 {
+		c.N = 16
+	}
+	return c
+}
+
+// Result carries the solution summary.
+type Result struct {
+	N          int
+	Sweeps     int
+	Residual   float64
+	SolutionL2 float64
+}
+
+// system generates a strictly diagonally dominant A and right-hand side
+// b (so Jacobi converges).
+func system(cfg Config) (a, b []float64) {
+	n := cfg.N
+	a = make([]float64, n*n)
+	b = make([]float64, n)
+	s := uint64(cfg.Seed)*0x9E3779B97F4A7C15 + 5
+	for i := 0; i < n; i++ {
+		var off float64
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			s = s*6364136223846793005 + 1442695040888963407
+			v := float64(int64(s>>40))/float64(1<<24) - 0.25
+			a[i*n+j] = v
+			off += math.Abs(v)
+		}
+		a[i*n+i] = off + 1.5 // strict dominance
+		s = s*6364136223846793005 + 1442695040888963407
+		b[i] = float64(int64(s>>40)) / float64(1<<22)
+	}
+	return a, b
+}
+
+func sweepRows(a, b, x, xNew []float64, n, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		sum := b[i]
+		row := a[i*n:]
+		for j := 0; j < n; j++ {
+			if j != i {
+				sum -= row[j] * x[j]
+			}
+		}
+		xNew[i-lo] = sum / row[i]
+	}
+}
+
+func residual(a, b, x []float64, n int) float64 {
+	var r2 float64
+	for i := 0; i < n; i++ {
+		sum := -b[i]
+		row := a[i*n:]
+		for j := 0; j < n; j++ {
+			sum += row[j] * x[j]
+		}
+		r2 += sum * sum
+	}
+	return math.Sqrt(r2)
+}
+
+func l2(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Sequential runs Jacobi to the sweep limit or tolerance.
+func Sequential(cfg Config) (*Result, error) {
+	a, b := system(cfg)
+	n := cfg.N
+	x := make([]float64, n)
+	xNew := make([]float64, n)
+	sweeps := 0
+	for s := 0; s < cfg.Sweeps; s++ {
+		sweepRows(a, b, x, xNew, n, 0, n)
+		copy(x, xNew)
+		sweeps++
+		if residual(a, b, x, n) < cfg.Tolerance {
+			break
+		}
+	}
+	return &Result{N: n, Sweeps: sweeps, Residual: residual(a, b, x, n), SolutionL2: l2(x)}, nil
+}
+
+func rowShare(n, p, r int) (lo, hi int) {
+	base, rem := n/p, n%p
+	lo = r*base + min(r, rem)
+	hi = lo + base
+	if r < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Parallel distributes row blocks; each sweep computes the local block
+// and allgathers the new iterate via gather-to-0 + broadcast. Tags: 50 =
+// gather, 51 = broadcast.
+func Parallel(ctx *mpt.Ctx, cfg Config) (*Result, error) {
+	const (
+		tagGather = 50
+		tagBcast  = 51
+	)
+	n, p, me := cfg.N, ctx.Size(), ctx.Rank()
+	// Every rank generates the (deterministic) system; the paper's codes
+	// did the same to avoid shipping the matrix.
+	a, b := system(cfg)
+	ctx.Charge(2 * float64(n) * float64(n) / float64(p)) // generation, amortized
+	lo, hi := rowShare(n, p, me)
+
+	x := make([]float64, n)
+	xNew := make([]float64, hi-lo)
+	sweeps := 0
+	for s := 0; s < cfg.Sweeps; s++ {
+		sweepRows(a, b, x, xNew, n, lo, hi)
+		ctx.Charge(OpsPerMAC*float64(hi-lo)*float64(n) + OpsPerUpdate*float64(hi-lo))
+
+		// Allgather the iterate: blocks to rank 0, full vector back.
+		if me == 0 {
+			copy(x[lo:hi], xNew)
+			for r := 1; r < p; r++ {
+				msg, err := ctx.Comm.Recv(mpt.AnySource, tagGather)
+				if err != nil {
+					return nil, fmt.Errorf("linsolve gather: %w", err)
+				}
+				blk, err := mpt.DecodeFloat64s(msg.Data)
+				if err != nil {
+					return nil, err
+				}
+				blo, bhi := rowShare(n, p, msg.Src)
+				if bhi-blo != len(blk) {
+					return nil, fmt.Errorf("linsolve: rank %d sent %d rows, want %d", msg.Src, len(blk), bhi-blo)
+				}
+				copy(x[blo:bhi], blk)
+			}
+		} else {
+			if err := ctx.Comm.Send(0, tagGather, mpt.EncodeFloat64s(xNew)); err != nil {
+				return nil, fmt.Errorf("linsolve gather send: %w", err)
+			}
+		}
+		full, err := ctx.Comm.Bcast(0, tagBcast, mpt.EncodeFloat64s(x))
+		if err != nil {
+			return nil, fmt.Errorf("linsolve bcast: %w", err)
+		}
+		x, err = mpt.DecodeFloat64s(full)
+		if err != nil {
+			return nil, err
+		}
+		sweeps++
+	}
+	if me != 0 {
+		return nil, nil
+	}
+	ctx.Charge(2 * OpsPerMAC * float64(n) * float64(n)) // final residual check
+	return &Result{N: n, Sweeps: sweeps, Residual: residual(a, b, x, n), SolutionL2: l2(x)}, nil
+}
+
+// VerifyAgainstSequential checks the parallel solve converged to the same
+// solution.
+func VerifyAgainstSequential(cfg Config, par *Result) error {
+	if par == nil {
+		return fmt.Errorf("linsolve: nil parallel result")
+	}
+	seq, err := Sequential(cfg)
+	if err != nil {
+		return err
+	}
+	if par.Sweeps != seq.Sweeps {
+		// Jacobi with the same sweep budget and no early exit in the
+		// parallel version can differ; only flag gross divergence.
+		if par.Sweeps < seq.Sweeps {
+			return fmt.Errorf("linsolve: parallel stopped after %d sweeps, sequential needed %d", par.Sweeps, seq.Sweeps)
+		}
+	}
+	if math.Abs(par.SolutionL2-seq.SolutionL2) > 1e-6*(1+seq.SolutionL2) {
+		return fmt.Errorf("linsolve: |x| %g != %g", par.SolutionL2, seq.SolutionL2)
+	}
+	if par.Residual > seq.Residual*1.5+cfg.Tolerance {
+		return fmt.Errorf("linsolve: residual %g worse than sequential %g", par.Residual, seq.Residual)
+	}
+	return nil
+}

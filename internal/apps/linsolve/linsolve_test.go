@@ -1,0 +1,69 @@
+package linsolve
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSequentialConverges(t *testing.T) {
+	res, err := Sequential(Config{N: 64, Sweeps: 80, Tolerance: 1e-9, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Residual > 1e-6 {
+		t.Fatalf("residual %g after %d sweeps", res.Residual, res.Sweeps)
+	}
+	if res.SolutionL2 == 0 {
+		t.Fatal("trivial solution")
+	}
+}
+
+func TestResidualOfExactSolution(t *testing.T) {
+	// For A = I, b arbitrary: x = b solves exactly.
+	n := 5
+	a := make([]float64, n*n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i*n+i] = 1
+		b[i] = float64(i + 1)
+	}
+	if r := residual(a, b, b, n); r > 1e-15 {
+		t.Fatalf("residual of exact solution = %g", r)
+	}
+}
+
+func TestSweepRowsJacobiStep(t *testing.T) {
+	// 2x + y = 3; x + 3y = 5, starting from x = 0: first Jacobi iterate
+	// is x1 = 3/2, y1 = 5/3.
+	a := []float64{2, 1, 1, 3}
+	b := []float64{3, 5}
+	x := []float64{0, 0}
+	xNew := make([]float64, 2)
+	sweepRows(a, b, x, xNew, 2, 0, 2)
+	if math.Abs(xNew[0]-1.5) > 1e-15 || math.Abs(xNew[1]-5.0/3) > 1e-15 {
+		t.Fatalf("first iterate = %v, want [1.5, 1.667]", xNew)
+	}
+}
+
+func TestResidualDecreasesAcrossSweeps(t *testing.T) {
+	cfg := Config{N: 48, Sweeps: 1, Tolerance: 0, Seed: 8}
+	a, b := system(cfg)
+	x := make([]float64, cfg.N)
+	xNew := make([]float64, cfg.N)
+	prev := residual(a, b, x, cfg.N)
+	for s := 0; s < 10; s++ {
+		sweepRows(a, b, x, xNew, cfg.N, 0, cfg.N)
+		copy(x, xNew)
+		r := residual(a, b, x, cfg.N)
+		if r > prev {
+			t.Fatalf("sweep %d: residual rose %g -> %g", s, prev, r)
+		}
+		prev = r
+	}
+}
+
+func TestL2(t *testing.T) {
+	if got := l2([]float64{3, 4}); got != 5 {
+		t.Fatalf("l2(3,4) = %g, want 5", got)
+	}
+}

@@ -1,0 +1,216 @@
+// Package lu implements the LU Decomposition application of the SU PDABS
+// suite (Table 2, Numerical Algorithms): Doolittle factorization without
+// pivoting on a diagonally dominant matrix, rows distributed cyclically
+// so the shrinking active window stays balanced, with the pivot row
+// broadcast every step — the classic 1995 dense-kernel communication
+// pattern.
+package lu
+
+import (
+	"fmt"
+	"math"
+
+	"tooleval/internal/mpt"
+)
+
+// OpsPerElim is the cost per eliminated element (multiply + subtract +
+// indexing).
+const OpsPerElim = 2.6
+
+// Config sizes the benchmark.
+type Config struct {
+	N    int
+	Seed int64
+}
+
+// DefaultConfig factors a 192x192 system.
+func DefaultConfig() Config { return Config{N: 192, Seed: 53} }
+
+// Scaled shrinks the matrix.
+func (c Config) Scaled(factor float64) Config {
+	c.N = int(float64(c.N) * factor)
+	if c.N < 16 {
+		c.N = 16
+	}
+	return c
+}
+
+// Result summarizes the factorization.
+type Result struct {
+	N int
+	// DetLog is log|det(A)| = Σ log|U[i][i]| — a compact, order-sensitive
+	// fingerprint of U's diagonal.
+	DetLog float64
+	// ReconError is max|A - L·U| computed on rank 0 for small systems
+	// (diagnostic; 0 when skipped).
+	ReconError float64
+}
+
+func synth(cfg Config) []float64 {
+	n := cfg.N
+	a := make([]float64, n*n)
+	s := uint64(cfg.Seed)*0x9E3779B97F4A7C15 + 11
+	for i := 0; i < n; i++ {
+		var off float64
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			s = s*6364136223846793005 + 1442695040888963407
+			v := float64(int64(s>>40))/float64(1<<24) - 0.25
+			a[i*n+j] = v
+			off += math.Abs(v)
+		}
+		a[i*n+i] = off + 2 // dominance: no pivoting needed
+	}
+	return a
+}
+
+// factorInPlace performs the elimination; returns log|det|.
+func factorInPlace(a []float64, n int) (float64, error) {
+	detLog := 0.0
+	for k := 0; k < n; k++ {
+		piv := a[k*n+k]
+		if piv == 0 {
+			return 0, fmt.Errorf("lu: zero pivot at %d", k)
+		}
+		detLog += math.Log(math.Abs(piv))
+		for i := k + 1; i < n; i++ {
+			m := a[i*n+k] / piv
+			a[i*n+k] = m
+			row := a[i*n:]
+			pivRow := a[k*n:]
+			for j := k + 1; j < n; j++ {
+				row[j] -= m * pivRow[j]
+			}
+		}
+	}
+	return detLog, nil
+}
+
+// Sequential factors the reference matrix.
+func Sequential(cfg Config) (*Result, error) {
+	a := synth(cfg)
+	orig := append([]float64(nil), a...)
+	detLog, err := factorInPlace(a, cfg.N)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{N: cfg.N, DetLog: detLog, ReconError: reconError(orig, a, cfg.N)}, nil
+}
+
+// reconError computes max|A - L·U| for verification.
+func reconError(orig, lu []float64, n int) float64 {
+	var maxErr float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var sum float64
+			kMax := min(i, j)
+			for k := 0; k <= kMax; k++ {
+				l := lu[i*n+k]
+				if k == i {
+					l = 1
+				}
+				sum += l * lu[k*n+j]
+			}
+			if d := math.Abs(orig[i*n+j] - sum); d > maxErr {
+				maxErr = d
+			}
+		}
+	}
+	return maxErr
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Parallel factors with cyclic row distribution: rank r owns rows i with
+// i%p == r; at step k the owner eliminates and broadcasts the pivot row,
+// everyone updates their rows below k. Tags: 60 = pivot row broadcast,
+// 61 = diagonal gather.
+func Parallel(ctx *mpt.Ctx, cfg Config) (*Result, error) {
+	const (
+		tagPivot = 60
+		tagDiag  = 61
+	)
+	n, p, me := cfg.N, ctx.Size(), ctx.Rank()
+	// Deterministic generation on every rank (rows not owned are kept for
+	// simplicity but only owned rows are updated/charged).
+	a := synth(cfg)
+	ctx.Charge(2 * float64(n) * float64(n) / float64(p))
+
+	detLogLocal := 0.0
+	for k := 0; k < n; k++ {
+		owner := k % p
+		var pivRow []float64
+		if me == owner {
+			piv := a[k*n+k]
+			if piv == 0 {
+				return nil, fmt.Errorf("lu: zero pivot at %d", k)
+			}
+			detLogLocal += math.Log(math.Abs(piv))
+			pivRow = a[k*n+k : (k+1)*n]
+		}
+		enc, err := ctx.Comm.Bcast(owner, tagPivot, mpt.EncodeFloat64s(pivRow))
+		if err != nil {
+			return nil, fmt.Errorf("lu pivot bcast step %d: %w", k, err)
+		}
+		pivRow, err = mpt.DecodeFloat64s(enc)
+		if err != nil {
+			return nil, err
+		}
+		piv := pivRow[0]
+		// Update my rows below k.
+		updated := 0
+		for i := k + 1 + ((me - (k+1)%p + p) % p); i < n; i += p {
+			m := a[i*n+k] / piv
+			a[i*n+k] = m
+			row := a[i*n:]
+			for j := k + 1; j < n; j++ {
+				row[j] -= m * pivRow[j-k]
+			}
+			updated++
+		}
+		ctx.Charge(OpsPerElim * float64(updated) * float64(n-k))
+	}
+
+	// Gather the per-rank log-det partials.
+	if me != 0 {
+		return nil, ctx.Comm.Send(0, tagDiag, mpt.EncodeFloat64s([]float64{detLogLocal}))
+	}
+	detLog := detLogLocal
+	for r := 1; r < p; r++ {
+		msg, err := ctx.Comm.Recv(r, tagDiag)
+		if err != nil {
+			return nil, fmt.Errorf("lu diag gather from %d: %w", r, err)
+		}
+		v, err := mpt.DecodeFloat64s(msg.Data)
+		if err != nil {
+			return nil, err
+		}
+		detLog += v[0]
+	}
+	return &Result{N: n, DetLog: detLog}, nil
+}
+
+// VerifyAgainstSequential checks the factorizations agree.
+func VerifyAgainstSequential(cfg Config, par *Result) error {
+	if par == nil {
+		return fmt.Errorf("lu: nil parallel result")
+	}
+	seq, err := Sequential(cfg)
+	if err != nil {
+		return err
+	}
+	if seq.ReconError > 1e-8*float64(cfg.N) {
+		return fmt.Errorf("lu: sequential reconstruction error %g too large", seq.ReconError)
+	}
+	if math.Abs(par.DetLog-seq.DetLog) > 1e-7*(1+math.Abs(seq.DetLog)) {
+		return fmt.Errorf("lu: log|det| %g != %g", par.DetLog, seq.DetLog)
+	}
+	return nil
+}

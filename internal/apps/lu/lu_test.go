@@ -1,0 +1,77 @@
+package lu
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFactorKnown2x2(t *testing.T) {
+	// A = [4 3; 6 3]: L = [1 0; 1.5 1], U = [4 3; 0 -1.5].
+	a := []float64{4, 3, 6, 3}
+	detLog, err := factorInPlace(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a[2]-1.5) > 1e-12 {
+		t.Fatalf("L[1][0] = %g, want 1.5", a[2])
+	}
+	if math.Abs(a[3]+1.5) > 1e-12 {
+		t.Fatalf("U[1][1] = %g, want -1.5", a[3])
+	}
+	wantDet := math.Log(4) + math.Log(1.5)
+	if math.Abs(detLog-wantDet) > 1e-12 {
+		t.Fatalf("log|det| = %g, want %g", detLog, wantDet)
+	}
+}
+
+func TestFactorReconstruction(t *testing.T) {
+	cfg := Config{N: 24, Seed: 3}
+	a := synth(cfg)
+	orig := append([]float64(nil), a...)
+	if _, err := factorInPlace(a, cfg.N); err != nil {
+		t.Fatal(err)
+	}
+	if e := reconError(orig, a, cfg.N); e > 1e-10 {
+		t.Fatalf("reconstruction error %g", e)
+	}
+}
+
+func TestFactorZeroPivot(t *testing.T) {
+	a := []float64{0, 1, 1, 0}
+	if _, err := factorInPlace(a, 2); err == nil {
+		t.Fatal("zero pivot should error")
+	}
+}
+
+func TestSequentialStable(t *testing.T) {
+	a, err := Sequential(Config{N: 20, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sequential(Config{N: 20, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DetLog != b.DetLog {
+		t.Fatal("sequential LU not deterministic")
+	}
+	if math.IsNaN(a.DetLog) || math.IsInf(a.DetLog, 0) {
+		t.Fatalf("log|det| = %g", a.DetLog)
+	}
+}
+
+func TestDiagonalDominanceHolds(t *testing.T) {
+	cfg := Config{N: 40, Seed: 12}
+	a := synth(cfg)
+	for i := 0; i < cfg.N; i++ {
+		var off float64
+		for j := 0; j < cfg.N; j++ {
+			if i != j {
+				off += math.Abs(a[i*cfg.N+j])
+			}
+		}
+		if a[i*cfg.N+i] <= off {
+			t.Fatalf("row %d not diagonally dominant: %g <= %g", i, a[i*cfg.N+i], off)
+		}
+	}
+}

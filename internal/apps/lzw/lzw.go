@@ -1,0 +1,313 @@
+// Package lzw implements the Data Compression application of the SU
+// PDABS suite (Table 2, Signal/Image Processing): a real LZW codec
+// (12-bit codes, dictionary reset on overflow) applied block-parallel —
+// the host scatters input blocks, nodes compress independently, the host
+// collects the streams, exactly like 1995 "compress farm" utilities.
+package lzw
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"tooleval/internal/mpt"
+)
+
+// Cost model: operations per input byte for compression (hash-table
+// probe + emit) and per output byte for collection.
+const (
+	OpsPerInputByte  = 30.0
+	OpsPerOutputByte = 4.0
+)
+
+const (
+	maxCodeBits = 12
+	maxCodes    = 1 << maxCodeBits
+	clearCode   = 256
+	firstCode   = 257
+)
+
+// Compress encodes src with LZW (12-bit codes, MSB-first packing).
+func Compress(src []byte) []byte {
+	dict := make(map[string]int, maxCodes)
+	for i := 0; i < 256; i++ {
+		dict[string([]byte{byte(i)})] = i
+	}
+	reset := func() {
+		for k := range dict {
+			if len(k) > 1 {
+				delete(dict, k)
+			}
+		}
+	}
+	nextCode := firstCode
+	var out bitPacker
+	var w []byte
+	for _, c := range src {
+		trial := append(w, c)
+		if _, ok := dict[string(trial)]; ok {
+			w = trial
+			continue
+		}
+		out.emit(dict[string(w)])
+		if nextCode < maxCodes {
+			dict[string(trial)] = nextCode
+			nextCode++
+		} else {
+			out.emit(clearCode)
+			reset()
+			nextCode = firstCode
+		}
+		w = []byte{c}
+	}
+	if len(w) > 0 {
+		out.emit(dict[string(w)])
+	}
+	return out.finish()
+}
+
+// Decompress reverses Compress.
+func Decompress(enc []byte) ([]byte, error) {
+	codes, err := unpackCodes(enc)
+	if err != nil {
+		return nil, err
+	}
+	table := make([][]byte, 256, maxCodes)
+	for i := range table {
+		table[i] = []byte{byte(i)}
+	}
+	table = append(table, nil) // clearCode placeholder
+	var out []byte
+	var prev []byte
+	for _, code := range codes {
+		if code == clearCode {
+			table = table[:firstCode]
+			prev = nil
+			continue
+		}
+		var entry []byte
+		switch {
+		case code < len(table) && table[code] != nil:
+			entry = table[code]
+		case code == len(table) && prev != nil:
+			entry = append(append([]byte(nil), prev...), prev[0])
+		default:
+			return nil, fmt.Errorf("lzw: invalid code %d (table %d)", code, len(table))
+		}
+		out = append(out, entry...)
+		if prev != nil && len(table) < maxCodes {
+			table = append(table, append(append([]byte(nil), prev...), entry[0]))
+		}
+		prev = entry
+	}
+	return out, nil
+}
+
+// bitPacker packs 12-bit codes MSB-first.
+type bitPacker struct {
+	buf  []byte
+	acc  uint32
+	bits int
+}
+
+func (p *bitPacker) emit(code int) {
+	p.acc = p.acc<<maxCodeBits | uint32(code&(maxCodes-1))
+	p.bits += maxCodeBits
+	for p.bits >= 8 {
+		p.bits -= 8
+		p.buf = append(p.buf, byte(p.acc>>uint(p.bits)))
+	}
+}
+
+func (p *bitPacker) finish() []byte {
+	if p.bits > 0 {
+		p.buf = append(p.buf, byte(p.acc<<uint(8-p.bits)))
+	}
+	return p.buf
+}
+
+func unpackCodes(enc []byte) ([]int, error) {
+	var codes []int
+	acc, bits := uint32(0), 0
+	for _, b := range enc {
+		acc = acc<<8 | uint32(b)
+		bits += 8
+		if bits >= maxCodeBits {
+			bits -= maxCodeBits
+			codes = append(codes, int(acc>>uint(bits))&(maxCodes-1))
+		}
+	}
+	return codes, nil
+}
+
+// Config sizes the benchmark.
+type Config struct {
+	Bytes int
+	Seed  int64
+}
+
+// DefaultConfig compresses 512 KB of synthetic text.
+func DefaultConfig() Config { return Config{Bytes: 512 << 10, Seed: 61} }
+
+// Scaled shrinks the input.
+func (c Config) Scaled(factor float64) Config {
+	c.Bytes = int(float64(c.Bytes) * factor)
+	if c.Bytes < 1024 {
+		c.Bytes = 1024
+	}
+	return c
+}
+
+// SyntheticText generates compressible pseudo-prose.
+func SyntheticText(n int, seed int64) []byte {
+	words := []string{"the", "tool", "evaluation", "methodology", "parallel",
+		"distributed", "network", "message", "passing", "performance",
+		"application", "primitive", "broadcast", "system", "benchmark"}
+	out := make([]byte, 0, n)
+	s := uint64(seed)*0x9E3779B97F4A7C15 + 17
+	for len(out) < n {
+		s = s*6364136223846793005 + 1442695040888963407
+		out = append(out, words[s%uint64(len(words))]...)
+		if s%11 == 0 {
+			out = append(out, '.', ' ')
+		} else {
+			out = append(out, ' ')
+		}
+	}
+	return out[:n]
+}
+
+// Result summarizes a compression run.
+type Result struct {
+	InputBytes  int
+	OutputBytes int
+	Blocks      [][]byte
+}
+
+// Ratio reports input/output.
+func (r *Result) Ratio() float64 {
+	if r.OutputBytes == 0 {
+		return 0
+	}
+	return float64(r.InputBytes) / float64(r.OutputBytes)
+}
+
+// Sequential compresses the whole input and verifies the round trip.
+func Sequential(cfg Config) (*Result, error) {
+	src := SyntheticText(cfg.Bytes, cfg.Seed)
+	enc := Compress(src)
+	dec, err := Decompress(enc)
+	if err != nil {
+		return nil, err
+	}
+	if string(dec) != string(src) {
+		return nil, fmt.Errorf("lzw: sequential round trip failed")
+	}
+	return &Result{InputBytes: len(src), OutputBytes: len(enc), Blocks: [][]byte{enc}}, nil
+}
+
+func blockShare(total, p, r int) (lo, hi int) {
+	base, rem := total/p, total%p
+	lo = r*base + min(r, rem)
+	hi = lo + base
+	if r < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Parallel scatters input blocks, compresses independently, and collects
+// framed streams on rank 0 (which round-trips each block as the audit).
+// Tags: 80 = input block, 81 = compressed block.
+func Parallel(ctx *mpt.Ctx, cfg Config) (*Result, error) {
+	const (
+		tagIn  = 80
+		tagOut = 81
+	)
+	p, me := ctx.Size(), ctx.Rank()
+
+	var myBlock []byte
+	if me == 0 {
+		src := SyntheticText(cfg.Bytes, cfg.Seed)
+		for r := 1; r < p; r++ {
+			lo, hi := blockShare(len(src), p, r)
+			if err := ctx.Comm.Send(r, tagIn, src[lo:hi]); err != nil {
+				return nil, fmt.Errorf("lzw scatter to %d: %w", r, err)
+			}
+		}
+		lo, hi := blockShare(len(src), p, 0)
+		myBlock = src[lo:hi]
+	} else {
+		msg, err := ctx.Comm.Recv(0, tagIn)
+		if err != nil {
+			return nil, fmt.Errorf("lzw block recv: %w", err)
+		}
+		myBlock = msg.Data
+	}
+
+	enc := Compress(myBlock)
+	ctx.Charge(OpsPerInputByte*float64(len(myBlock)) + OpsPerOutputByte*float64(len(enc)))
+	framed := make([]byte, 4+len(enc))
+	binary.BigEndian.PutUint32(framed, uint32(len(myBlock)))
+	copy(framed[4:], enc)
+
+	if me != 0 {
+		return nil, ctx.Comm.Send(0, tagOut, framed)
+	}
+	blocks := make([][]byte, p)
+	blocks[0] = framed
+	for r := 1; r < p; r++ {
+		msg, err := ctx.Comm.Recv(r, tagOut)
+		if err != nil {
+			return nil, fmt.Errorf("lzw collect from %d: %w", r, err)
+		}
+		blocks[r] = msg.Data
+	}
+	res := &Result{Blocks: blocks}
+	src := SyntheticText(cfg.Bytes, cfg.Seed)
+	var rebuilt []byte
+	for r, blk := range blocks {
+		if len(blk) < 4 {
+			return nil, fmt.Errorf("lzw: block %d truncated", r)
+		}
+		dec, err := Decompress(blk[4:])
+		if err != nil {
+			return nil, fmt.Errorf("lzw: block %d: %w", r, err)
+		}
+		if len(dec) != int(binary.BigEndian.Uint32(blk)) {
+			return nil, fmt.Errorf("lzw: block %d length header mismatch", r)
+		}
+		rebuilt = append(rebuilt, dec...)
+		res.InputBytes += len(dec)
+		res.OutputBytes += len(blk) - 4
+	}
+	if string(rebuilt) != string(src) {
+		return nil, fmt.Errorf("lzw: parallel reassembly differs from input")
+	}
+	return res, nil
+}
+
+// VerifyAgainstSequential checks block-parallel compression round-trips
+// and achieves a comparable ratio to whole-input compression.
+func VerifyAgainstSequential(cfg Config, par *Result) error {
+	if par == nil {
+		return fmt.Errorf("lzw: nil parallel result")
+	}
+	seq, err := Sequential(cfg)
+	if err != nil {
+		return err
+	}
+	if par.InputBytes != seq.InputBytes {
+		return fmt.Errorf("lzw: input bytes %d != %d", par.InputBytes, seq.InputBytes)
+	}
+	if par.Ratio() < seq.Ratio()*0.7 {
+		return fmt.Errorf("lzw: block-parallel ratio %.2f collapsed vs sequential %.2f", par.Ratio(), seq.Ratio())
+	}
+	return nil
+}

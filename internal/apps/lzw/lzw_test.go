@@ -1,0 +1,102 @@
+package lzw
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompressKnown(t *testing.T) {
+	// "ABABAB": codes A, B, AB(257), AB... classic LZW behaviour.
+	src := []byte("ABABABABAB")
+	enc := Compress(src)
+	dec, err := Decompress(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec, src) {
+		t.Fatalf("round trip: %q -> %q", src, dec)
+	}
+	if len(enc) >= len(src) {
+		t.Fatalf("repetitive input should compress: %d -> %d", len(src), len(enc))
+	}
+}
+
+func TestKwKwKCase(t *testing.T) {
+	// The cScSc pattern triggers the code == len(table) special case.
+	src := []byte("aaaaaaaaaaaaaaaa")
+	dec, err := Decompress(Compress(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec, src) {
+		t.Fatalf("KwKwK round trip failed: %q", dec)
+	}
+}
+
+func TestAllByteValues(t *testing.T) {
+	src := make([]byte, 512)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	dec, err := Decompress(Compress(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec, src) {
+		t.Fatal("full byte range round trip failed")
+	}
+}
+
+func TestDictionaryOverflowReset(t *testing.T) {
+	// Enough distinct digrams to overflow the 12-bit dictionary.
+	src := make([]byte, 300_000)
+	s := uint64(12345)
+	for i := range src {
+		s = s*6364136223846793005 + 1442695040888963407
+		src[i] = byte(s >> 56)
+	}
+	dec, err := Decompress(Compress(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec, src) {
+		t.Fatal("overflow/reset round trip failed")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	dec, err := Decompress(Compress(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != 0 {
+		t.Fatalf("empty round trip produced %d bytes", len(dec))
+	}
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	prop := func(src []byte) bool {
+		dec, err := Decompress(Compress(src))
+		return err == nil && bytes.Equal(dec, src)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyntheticTextCompresses(t *testing.T) {
+	res, err := Sequential(Config{Bytes: 64 << 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ratio() < 1.8 {
+		t.Fatalf("text ratio %.2f, want > 1.8", res.Ratio())
+	}
+}
+
+func TestDecompressRejectsGarbage(t *testing.T) {
+	if _, err := Decompress([]byte{0xFF, 0xFF, 0xFF}); err == nil {
+		t.Fatal("invalid code stream should error")
+	}
+}

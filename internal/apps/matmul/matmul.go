@@ -1,0 +1,228 @@
+// Package matmul implements the Matrix Multiplication application of the
+// SU PDABS suite (Table 2, Numerical Algorithms): C = A·B with A
+// distributed in row bands and B broadcast, the standard 1995 host-node
+// decomposition.
+package matmul
+
+import (
+	"fmt"
+	"math"
+
+	"tooleval/internal/mpt"
+)
+
+// OpsPerMAC is the cost of one multiply-accumulate in the inner loop
+// (including index arithmetic on 1995 compilers).
+const OpsPerMAC = 2.2
+
+// Config sizes the benchmark.
+type Config struct {
+	N    int
+	Seed int64
+}
+
+// DefaultConfig multiplies 256x256 matrices.
+func DefaultConfig() Config { return Config{N: 256, Seed: 41} }
+
+// Scaled shrinks the matrix edge.
+func (c Config) Scaled(factor float64) Config {
+	c.N = int(float64(c.N) * factor)
+	if c.N < 16 {
+		c.N = 16
+	}
+	return c
+}
+
+// Result carries the product's fingerprint for verification.
+type Result struct {
+	N        int
+	Checksum float64 // sum of all elements
+	Trace    float64 // sum of diagonal
+	MaxAbs   float64
+}
+
+func synth(n int, seed int64, which byte) []float64 {
+	out := make([]float64, n*n)
+	s := uint64(seed)*0x9E3779B97F4A7C15 + uint64(which)
+	for i := range out {
+		s = s*6364136223846793005 + 1442695040888963407
+		out[i] = float64(int64(s>>40))/float64(1<<23) - 0.5
+	}
+	return out
+}
+
+func multiplyRows(a []float64, b []float64, n, rows int) []float64 {
+	c := make([]float64, rows*n)
+	for i := 0; i < rows; i++ {
+		for k := 0; k < n; k++ {
+			aik := a[i*n+k]
+			if aik == 0 {
+				continue
+			}
+			row := b[k*n:]
+			out := c[i*n:]
+			for j := 0; j < n; j++ {
+				out[j] += aik * row[j]
+			}
+		}
+	}
+	return c
+}
+
+func summarize(c []float64, n int) *Result {
+	r := &Result{N: n}
+	for i, v := range c {
+		r.Checksum += v
+		if a := math.Abs(v); a > r.MaxAbs {
+			r.MaxAbs = a
+		}
+		if i/n == i%n {
+			r.Trace += v
+		}
+	}
+	return r
+}
+
+// Sequential computes the reference product.
+func Sequential(cfg Config) (*Result, error) {
+	a := synth(cfg.N, cfg.Seed, 'A')
+	b := synth(cfg.N, cfg.Seed, 'B')
+	return summarize(multiplyRows(a, b, cfg.N, cfg.N), cfg.N), nil
+}
+
+// rowShare gives rank r's row range [lo, hi).
+func rowShare(n, p, r int) (lo, hi int) {
+	base, rem := n/p, n%p
+	lo = r*base + min(r, rem)
+	hi = lo + base
+	if r < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Parallel distributes A's row bands from rank 0, broadcasts B, and
+// gathers partial checksums. Tags: 40 = A band, 41 = partial result.
+func Parallel(ctx *mpt.Ctx, cfg Config) (*Result, error) {
+	const (
+		tagBand = 40
+		tagPart = 41
+	)
+	n, p, me := cfg.N, ctx.Size(), ctx.Rank()
+	lo, hi := rowShare(n, p, me)
+
+	var myA []float64
+	if me == 0 {
+		a := synth(n, cfg.Seed, 'A')
+		for r := 1; r < p; r++ {
+			rlo, rhi := rowShare(n, p, r)
+			if err := ctx.Comm.Send(r, tagBand, mpt.EncodeFloat64s(a[rlo*n:rhi*n])); err != nil {
+				return nil, fmt.Errorf("matmul scatter to %d: %w", r, err)
+			}
+		}
+		myA = a[lo*n : hi*n]
+	} else {
+		msg, err := ctx.Comm.Recv(0, tagBand)
+		if err != nil {
+			return nil, fmt.Errorf("matmul band recv: %w", err)
+		}
+		myA, err = mpt.DecodeFloat64s(msg.Data)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Broadcast B to everyone (rank 0 generates it).
+	var bEnc []byte
+	if me == 0 {
+		bEnc = mpt.EncodeFloat64s(synth(n, cfg.Seed, 'B'))
+	}
+	bEnc, err := ctx.Comm.Bcast(0, tagBand, bEnc)
+	if err != nil {
+		return nil, fmt.Errorf("matmul B bcast: %w", err)
+	}
+	b, err := mpt.DecodeFloat64s(bEnc)
+	if err != nil {
+		return nil, err
+	}
+
+	rows := hi - lo
+	c := multiplyRows(myA, b, n, rows)
+	ctx.Charge(OpsPerMAC * float64(rows) * float64(n) * float64(n))
+
+	// Reduce the fingerprint: [checksum, trace, maxabs] per rank.
+	part := summarizeBand(c, n, lo)
+	enc := mpt.EncodeFloat64s([]float64{part.Checksum, part.Trace, part.MaxAbs})
+	if me != 0 {
+		return nil, ctx.Comm.Send(0, tagPart, enc)
+	}
+	total := &Result{N: n, Checksum: part.Checksum, Trace: part.Trace, MaxAbs: part.MaxAbs}
+	for r := 1; r < p; r++ {
+		msg, err := ctx.Comm.Recv(r, tagPart)
+		if err != nil {
+			return nil, fmt.Errorf("matmul partial recv from %d: %w", r, err)
+		}
+		v, err := mpt.DecodeFloat64s(msg.Data)
+		if err != nil {
+			return nil, err
+		}
+		if len(v) != 3 {
+			return nil, fmt.Errorf("matmul: bad partial from %d", r)
+		}
+		total.Checksum += v[0]
+		total.Trace += v[1]
+		if v[2] > total.MaxAbs {
+			total.MaxAbs = v[2]
+		}
+	}
+	return total, nil
+}
+
+// summarizeBand fingerprints rows [lo, lo+rows) of the global matrix.
+func summarizeBand(c []float64, n, lo int) *Result {
+	r := &Result{N: n}
+	rows := len(c) / n
+	for i := 0; i < rows; i++ {
+		for j := 0; j < n; j++ {
+			v := c[i*n+j]
+			r.Checksum += v
+			if a := math.Abs(v); a > r.MaxAbs {
+				r.MaxAbs = a
+			}
+			if lo+i == j {
+				r.Trace += v
+			}
+		}
+	}
+	return r
+}
+
+// VerifyAgainstSequential compares fingerprints within floating-point
+// reassociation tolerance.
+func VerifyAgainstSequential(cfg Config, par *Result) error {
+	if par == nil {
+		return fmt.Errorf("matmul: nil parallel result")
+	}
+	seq, err := Sequential(cfg)
+	if err != nil {
+		return err
+	}
+	tol := 1e-9 * float64(cfg.N*cfg.N)
+	if math.Abs(par.Checksum-seq.Checksum) > tol {
+		return fmt.Errorf("matmul: checksum %g != %g", par.Checksum, seq.Checksum)
+	}
+	if math.Abs(par.Trace-seq.Trace) > tol {
+		return fmt.Errorf("matmul: trace %g != %g", par.Trace, seq.Trace)
+	}
+	if math.Abs(par.MaxAbs-seq.MaxAbs) > tol {
+		return fmt.Errorf("matmul: maxabs %g != %g", par.MaxAbs, seq.MaxAbs)
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package matmul
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMultiplyIdentity(t *testing.T) {
+	n := 8
+	id := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		id[i*n+i] = 1
+	}
+	b := synth(n, 3, 'B')
+	c := multiplyRows(id, b, n, n)
+	for i := range b {
+		if math.Abs(c[i]-b[i]) > 1e-12 {
+			t.Fatalf("I*B != B at %d: %g vs %g", i, c[i], b[i])
+		}
+	}
+}
+
+func TestMultiplyKnown(t *testing.T) {
+	// [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+	a := []float64{1, 2, 3, 4}
+	b := []float64{5, 6, 7, 8}
+	c := multiplyRows(a, b, 2, 2)
+	want := []float64{19, 22, 43, 50}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Fatalf("c[%d] = %g, want %g", i, c[i], want[i])
+		}
+	}
+}
+
+func TestRowShareCoversAll(t *testing.T) {
+	prop := func(nRaw uint8, pRaw uint8) bool {
+		n := int(nRaw)%200 + 1
+		p := int(pRaw)%16 + 1
+		covered := 0
+		prevHi := 0
+		for r := 0; r < p; r++ {
+			lo, hi := rowShare(n, p, r)
+			if lo != prevHi || hi < lo {
+				return false
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		return covered == n && prevHi == n
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialDeterministic(t *testing.T) {
+	a, err := Sequential(Config{N: 32, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sequential(Config{N: 32, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Checksum != b.Checksum || a.Trace != b.Trace {
+		t.Fatal("sequential matmul not deterministic")
+	}
+	c, err := Sequential(Config{N: 32, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Checksum == c.Checksum {
+		t.Fatal("different seeds gave identical checksums")
+	}
+}
+
+func TestSummarizeBandMatchesWhole(t *testing.T) {
+	n := 16
+	a := synth(n, 7, 'A')
+	b := synth(n, 7, 'B')
+	c := multiplyRows(a, b, n, n)
+	whole := summarize(c, n)
+	// Sum band summaries.
+	var cs, tr, ma float64
+	for lo := 0; lo < n; lo += 4 {
+		band := summarizeBand(c[lo*n:(lo+4)*n], n, lo)
+		cs += band.Checksum
+		tr += band.Trace
+		if band.MaxAbs > ma {
+			ma = band.MaxAbs
+		}
+	}
+	if math.Abs(cs-whole.Checksum) > 1e-9 || math.Abs(tr-whole.Trace) > 1e-9 || ma != whole.MaxAbs {
+		t.Fatalf("band summaries (%g,%g,%g) != whole (%g,%g,%g)", cs, tr, ma, whole.Checksum, whole.Trace, whole.MaxAbs)
+	}
+}
+
+func TestScaledFloor(t *testing.T) {
+	if DefaultConfig().Scaled(0.0001).N < 16 {
+		t.Fatal("scaled N below floor")
+	}
+}

@@ -1,0 +1,112 @@
+package montecarlo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSequentialEstimatesPi(t *testing.T) {
+	res, err := Sequential(Config{Samples: 500_000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Estimate-math.Pi) > 0.01 {
+		t.Fatalf("estimate %f too far from pi", res.Estimate)
+	}
+}
+
+func TestSequentialPPartitionInvariance(t *testing.T) {
+	// The p-partitioned reference must use all the samples and stay near
+	// pi for any p.
+	cfg := Config{Samples: 200_000, Seed: 2}
+	for p := 1; p <= 8; p++ {
+		res, err := SequentialP(cfg, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Estimate-math.Pi) > 0.02 {
+			t.Fatalf("p=%d: estimate %f too far from pi", p, res.Estimate)
+		}
+	}
+}
+
+func TestSharesSumToTotal(t *testing.T) {
+	prop := func(samplesRaw uint32, pRaw uint8) bool {
+		samples := int(samplesRaw%1_000_000) + 1
+		p := int(pRaw%16) + 1
+		sh := shares(samples, p)
+		sum := 0
+		for _, s := range sh {
+			sum += s
+			if s < 0 {
+				return false
+			}
+		}
+		// Shares differ by at most one.
+		for i := 1; i < len(sh); i++ {
+			d := sh[0] - sh[i]
+			if d < 0 || d > 1 {
+				return false
+			}
+		}
+		return sum == samples
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamDeterministicAndRankIndependent(t *testing.T) {
+	a := newStream(7, 0)
+	b := newStream(7, 0)
+	for i := 0; i < 100; i++ {
+		if a.next() != b.next() {
+			t.Fatal("same stream diverged")
+		}
+	}
+	c := newStream(7, 1)
+	same := 0
+	d := newStream(7, 0)
+	for i := 0; i < 100; i++ {
+		if c.next() == d.next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("rank streams overlap: %d/100 identical draws", same)
+	}
+}
+
+func TestStreamInUnitInterval(t *testing.T) {
+	r := newStream(3, 2)
+	for i := 0; i < 10_000; i++ {
+		v := r.next()
+		if v < 0 || v >= 1 {
+			t.Fatalf("draw %f outside [0,1)", v)
+		}
+	}
+}
+
+func TestScaledFloor(t *testing.T) {
+	c := DefaultConfig().Scaled(0.0000001)
+	if c.Samples < 1000 {
+		t.Fatalf("scaled samples %d below floor", c.Samples)
+	}
+}
+
+func TestVerifyCatchesDivergence(t *testing.T) {
+	cfg := Config{Samples: 100_000, Seed: 4}
+	seq, err := SequentialP(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &Result{Estimate: seq.Estimate + 0.5, Samples: cfg.Samples}
+	if err := VerifyAgainstSequential(cfg, 2, bad); err == nil {
+		t.Fatal("verification should reject a diverged estimate")
+	}
+	good := &Result{Estimate: seq.Estimate, Samples: cfg.Samples}
+	if err := VerifyAgainstSequential(cfg, 2, good); err != nil {
+		t.Fatalf("verification rejected the correct estimate: %v", err)
+	}
+}

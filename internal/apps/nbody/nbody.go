@@ -1,0 +1,322 @@
+// Package nbody implements the N-body Simulation application of the SU
+// PDABS suite (Table 2, Simulation/Optimization): direct O(n²)
+// gravitational interaction with leapfrog integration; every step the
+// body positions circulate around a ring of processors — the classic
+// 1995 systolic decomposition.
+package nbody
+
+import (
+	"fmt"
+	"math"
+
+	"tooleval/internal/mpt"
+)
+
+// Cost model: one pairwise interaction is ~18 flops on 1995 compilers
+// (3 subs, 3 mults + r² accumulation, sqrt amortized, 3 force terms).
+const OpsPerInteraction = 18.0
+
+// Config sizes the benchmark.
+type Config struct {
+	Bodies int
+	Steps  int
+	DT     float64
+	Seed   int64
+}
+
+// DefaultConfig simulates 768 bodies for 8 steps.
+func DefaultConfig() Config { return Config{Bodies: 768, Steps: 8, DT: 1e-3, Seed: 59} }
+
+// Scaled shrinks the body count.
+func (c Config) Scaled(factor float64) Config {
+	c.Bodies = int(float64(c.Bodies) * factor)
+	if c.Bodies < 16 {
+		c.Bodies = 16
+	}
+	return c
+}
+
+// Result summarizes the final state.
+type Result struct {
+	Bodies int
+	Steps  int
+	// Energy is the total (kinetic + potential) at the end; CenterX/Y/Z
+	// the center of mass (conserved up to round-off).
+	Energy  float64
+	CenterX float64
+	CenterY float64
+	CenterZ float64
+}
+
+type bodies struct {
+	x, y, z    []float64
+	vx, vy, vz []float64
+	m          []float64
+}
+
+func newBodies(n int) *bodies {
+	return &bodies{
+		x: make([]float64, n), y: make([]float64, n), z: make([]float64, n),
+		vx: make([]float64, n), vy: make([]float64, n), vz: make([]float64, n),
+		m: make([]float64, n),
+	}
+}
+
+func synth(cfg Config) *bodies {
+	b := newBodies(cfg.Bodies)
+	s := uint64(cfg.Seed)*0x9E3779B97F4A7C15 + 13
+	next := func() float64 {
+		s = s*6364136223846793005 + 1442695040888963407
+		return float64(s>>11)/float64(1<<53)*2 - 1
+	}
+	for i := 0; i < cfg.Bodies; i++ {
+		b.x[i], b.y[i], b.z[i] = next(), next(), next()
+		b.vx[i], b.vy[i], b.vz[i] = next()*0.1, next()*0.1, next()*0.1
+		b.m[i] = 0.5 + (next()+1)/4
+	}
+	return b
+}
+
+const soften = 1e-3
+
+// accumulate adds the acceleration exerted by sources on targets
+// [tLo,tHi).
+func accumulate(tx, ty, tz []float64, ax, ay, az []float64, tLo, tHi int,
+	sx, sy, sz, sm []float64) {
+	for i := tLo; i < tHi; i++ {
+		xi, yi, zi := tx[i], ty[i], tz[i]
+		var fx, fy, fz float64
+		for j := range sx {
+			dx := sx[j] - xi
+			dy := sy[j] - yi
+			dz := sz[j] - zi
+			r2 := dx*dx + dy*dy + dz*dz + soften
+			inv := 1 / (r2 * math.Sqrt(r2))
+			f := sm[j] * inv
+			fx += f * dx
+			fy += f * dy
+			fz += f * dz
+		}
+		ax[i-tLo] += fx
+		ay[i-tLo] += fy
+		az[i-tLo] += fz
+	}
+}
+
+func (b *bodies) energyAndCenter() (energy, cx, cy, cz float64) {
+	n := len(b.x)
+	var totalM float64
+	for i := 0; i < n; i++ {
+		v2 := b.vx[i]*b.vx[i] + b.vy[i]*b.vy[i] + b.vz[i]*b.vz[i]
+		energy += 0.5 * b.m[i] * v2
+		cx += b.m[i] * b.x[i]
+		cy += b.m[i] * b.y[i]
+		cz += b.m[i] * b.z[i]
+		totalM += b.m[i]
+		for j := i + 1; j < n; j++ {
+			dx := b.x[j] - b.x[i]
+			dy := b.y[j] - b.y[i]
+			dz := b.z[j] - b.z[i]
+			energy -= b.m[i] * b.m[j] / math.Sqrt(dx*dx+dy*dy+dz*dz+soften)
+		}
+	}
+	return energy, cx / totalM, cy / totalM, cz / totalM
+}
+
+// Sequential runs the reference simulation.
+func Sequential(cfg Config) (*Result, error) {
+	b := synth(cfg)
+	n := cfg.Bodies
+	ax := make([]float64, n)
+	ay := make([]float64, n)
+	az := make([]float64, n)
+	for s := 0; s < cfg.Steps; s++ {
+		for i := range ax {
+			ax[i], ay[i], az[i] = 0, 0, 0
+		}
+		accumulate(b.x, b.y, b.z, ax, ay, az, 0, n, b.x, b.y, b.z, b.m)
+		for i := 0; i < n; i++ {
+			b.vx[i] += ax[i] * cfg.DT
+			b.vy[i] += ay[i] * cfg.DT
+			b.vz[i] += az[i] * cfg.DT
+			b.x[i] += b.vx[i] * cfg.DT
+			b.y[i] += b.vy[i] * cfg.DT
+			b.z[i] += b.vz[i] * cfg.DT
+		}
+	}
+	e, cx, cy, cz := b.energyAndCenter()
+	return &Result{Bodies: n, Steps: cfg.Steps, Energy: e, CenterX: cx, CenterY: cy, CenterZ: cz}, nil
+}
+
+func share(n, p, r int) (lo, hi int) {
+	base, rem := n/p, n%p
+	lo = r*base + min(r, rem)
+	hi = lo + base
+	if r < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Parallel owns a block of bodies per rank; each step the position/mass
+// packets circulate around the ring so every rank sees every block.
+// The final state is gathered on rank 0 for the energy audit. Tags: 70 =
+// ring circulation, 71 = final gather.
+func Parallel(ctx *mpt.Ctx, cfg Config) (*Result, error) {
+	const (
+		tagRing   = 70
+		tagGather = 71
+	)
+	n, p, me := cfg.Bodies, ctx.Size(), ctx.Rank()
+	b := synth(cfg) // deterministic initial conditions on every rank
+	ctx.Charge(6 * float64(n) / float64(p))
+	lo, hi := share(n, p, me)
+	mine := hi - lo
+
+	ax := make([]float64, mine)
+	ay := make([]float64, mine)
+	az := make([]float64, mine)
+	next := (me + 1) % p
+	prev := (me + p - 1) % p
+
+	for s := 0; s < cfg.Steps; s++ {
+		for i := range ax {
+			ax[i], ay[i], az[i] = 0, 0, 0
+		}
+		// Systolic ring: start with my own block, then receive the
+		// blocks of the other p-1 ranks from my predecessor.
+		blkLo, blkHi := lo, hi
+		blk := packBlock(b, blkLo, blkHi)
+		for round := 0; round < p; round++ {
+			sx, sy, sz, sm, err := unpackBlock(blk)
+			if err != nil {
+				return nil, err
+			}
+			accumulate(b.x, b.y, b.z, ax, ay, az, lo, hi, sx, sy, sz, sm)
+			ctx.Charge(OpsPerInteraction * float64(mine) * float64(len(sx)))
+			if round == p-1 {
+				break
+			}
+			if err := ctx.Comm.Send(next, tagRing, blk); err != nil {
+				return nil, fmt.Errorf("nbody ring send: %w", err)
+			}
+			msg, err := ctx.Comm.Recv(prev, tagRing)
+			if err != nil {
+				return nil, fmt.Errorf("nbody ring recv: %w", err)
+			}
+			blk = msg.Data
+		}
+		// Integrate my block; subtract self-interaction is unnecessary
+		// (softening absorbs i==j which contributes zero force).
+		for i := lo; i < hi; i++ {
+			b.vx[i] += ax[i-lo] * cfg.DT
+			b.vy[i] += ay[i-lo] * cfg.DT
+			b.vz[i] += az[i-lo] * cfg.DT
+			b.x[i] += b.vx[i] * cfg.DT
+			b.y[i] += b.vy[i] * cfg.DT
+			b.z[i] += b.vz[i] * cfg.DT
+		}
+		ctx.Charge(12 * float64(mine))
+	}
+
+	// Gather final blocks (positions and velocities) on rank 0.
+	if me != 0 {
+		return nil, ctx.Comm.Send(0, tagGather, packState(b, lo, hi))
+	}
+	for r := 1; r < p; r++ {
+		msg, err := ctx.Comm.Recv(r, tagGather)
+		if err != nil {
+			return nil, fmt.Errorf("nbody gather from %d: %w", r, err)
+		}
+		rlo, rhi := share(n, p, r)
+		if err := unpackState(b, rlo, rhi, msg.Data); err != nil {
+			return nil, err
+		}
+	}
+	e, cx, cy, cz := b.energyAndCenter()
+	return &Result{Bodies: n, Steps: cfg.Steps, Energy: e, CenterX: cx, CenterY: cy, CenterZ: cz}, nil
+}
+
+func packBlock(b *bodies, lo, hi int) []byte {
+	n := hi - lo
+	fs := make([]float64, 0, 4*n)
+	fs = append(fs, b.x[lo:hi]...)
+	fs = append(fs, b.y[lo:hi]...)
+	fs = append(fs, b.z[lo:hi]...)
+	fs = append(fs, b.m[lo:hi]...)
+	return mpt.EncodeFloat64s(fs)
+}
+
+func unpackBlock(data []byte) (x, y, z, m []float64, err error) {
+	fs, err := mpt.DecodeFloat64s(data)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	if len(fs)%4 != 0 {
+		return nil, nil, nil, nil, fmt.Errorf("nbody: block of %d floats not divisible by 4", len(fs))
+	}
+	n := len(fs) / 4
+	return fs[:n], fs[n : 2*n], fs[2*n : 3*n], fs[3*n:], nil
+}
+
+func packState(b *bodies, lo, hi int) []byte {
+	n := hi - lo
+	fs := make([]float64, 0, 6*n)
+	fs = append(fs, b.x[lo:hi]...)
+	fs = append(fs, b.y[lo:hi]...)
+	fs = append(fs, b.z[lo:hi]...)
+	fs = append(fs, b.vx[lo:hi]...)
+	fs = append(fs, b.vy[lo:hi]...)
+	fs = append(fs, b.vz[lo:hi]...)
+	return mpt.EncodeFloat64s(fs)
+}
+
+func unpackState(b *bodies, lo, hi int, data []byte) error {
+	fs, err := mpt.DecodeFloat64s(data)
+	if err != nil {
+		return err
+	}
+	n := hi - lo
+	if len(fs) != 6*n {
+		return fmt.Errorf("nbody: state of %d floats, want %d", len(fs), 6*n)
+	}
+	copy(b.x[lo:hi], fs[:n])
+	copy(b.y[lo:hi], fs[n:2*n])
+	copy(b.z[lo:hi], fs[2*n:3*n])
+	copy(b.vx[lo:hi], fs[3*n:4*n])
+	copy(b.vy[lo:hi], fs[4*n:5*n])
+	copy(b.vz[lo:hi], fs[5*n:])
+	return nil
+}
+
+// VerifyAgainstSequential checks the trajectories agree bit-for-bit-ish
+// (same arithmetic order within blocks differs, so a tight tolerance is
+// used rather than equality).
+func VerifyAgainstSequential(cfg Config, par *Result) error {
+	if par == nil {
+		return fmt.Errorf("nbody: nil parallel result")
+	}
+	seq, err := Sequential(cfg)
+	if err != nil {
+		return err
+	}
+	tol := 1e-6 * (1 + math.Abs(seq.Energy))
+	if math.Abs(par.Energy-seq.Energy) > tol {
+		return fmt.Errorf("nbody: energy %g != %g", par.Energy, seq.Energy)
+	}
+	for _, d := range []struct{ a, b float64 }{
+		{par.CenterX, seq.CenterX}, {par.CenterY, seq.CenterY}, {par.CenterZ, seq.CenterZ},
+	} {
+		if math.Abs(d.a-d.b) > 1e-9 {
+			return fmt.Errorf("nbody: center of mass diverged: %g vs %g", d.a, d.b)
+		}
+	}
+	return nil
+}

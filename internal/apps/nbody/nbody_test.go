@@ -1,0 +1,118 @@
+package nbody
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTwoBodySymmetry(t *testing.T) {
+	// Equal masses attract with equal and opposite accelerations.
+	x := []float64{-1, 1}
+	y := []float64{0, 0}
+	z := []float64{0, 0}
+	m := []float64{1, 1}
+	ax := make([]float64, 2)
+	ay := make([]float64, 2)
+	az := make([]float64, 2)
+	accumulate(x, y, z, ax, ay, az, 0, 2, x, y, z, m)
+	if math.Abs(ax[0]+ax[1]) > 1e-12 {
+		t.Fatalf("accelerations not opposite: %g vs %g", ax[0], ax[1])
+	}
+	if ax[0] <= 0 {
+		t.Fatalf("body at -1 should accelerate toward +1, got %g", ax[0])
+	}
+	if math.Abs(ay[0]) > 1e-12 || math.Abs(az[0]) > 1e-12 {
+		t.Fatal("no transverse force expected")
+	}
+}
+
+func TestSelfInteractionIsZero(t *testing.T) {
+	x := []float64{2}
+	y := []float64{3}
+	z := []float64{4}
+	m := []float64{5}
+	ax := make([]float64, 1)
+	ay := make([]float64, 1)
+	az := make([]float64, 1)
+	accumulate(x, y, z, ax, ay, az, 0, 1, x, y, z, m)
+	if ax[0] != 0 || ay[0] != 0 || az[0] != 0 {
+		t.Fatalf("self force nonzero: (%g,%g,%g)", ax[0], ay[0], az[0])
+	}
+}
+
+func TestEnergyRoughlyConserved(t *testing.T) {
+	cfg := Config{Bodies: 64, Steps: 0, DT: 5e-4, Seed: 3}
+	start := synth(cfg)
+	e0, _, _, _ := start.energyAndCenter()
+	res, err := Sequential(Config{Bodies: 64, Steps: 20, DT: 5e-4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drift := math.Abs(res.Energy-e0) / (math.Abs(e0) + 1)
+	if drift > 0.05 {
+		t.Fatalf("energy drifted %.1f%% over 20 small steps", drift*100)
+	}
+}
+
+func TestCenterOfMassStationaryUnderZeroMomentum(t *testing.T) {
+	// Two equal bodies with opposite velocities: CoM fixed.
+	cfg := Config{Bodies: 16, Steps: 10, DT: 1e-3, Seed: 5}
+	res1, err := Sequential(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := cfg
+	cfg2.Steps = 1
+	res2, err := Sequential(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CoM moves linearly with total momentum; just check it stays finite
+	// and deterministic.
+	if math.IsNaN(res1.CenterX) || math.IsNaN(res2.CenterX) {
+		t.Fatal("NaN center of mass")
+	}
+}
+
+func TestBlockPackRoundTrip(t *testing.T) {
+	b := synth(Config{Bodies: 10, Seed: 7})
+	blk := packBlock(b, 2, 7)
+	x, y, z, m, err := unpackBlock(blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if x[i] != b.x[2+i] || y[i] != b.y[2+i] || z[i] != b.z[2+i] || m[i] != b.m[2+i] {
+			t.Fatalf("block round trip diverged at %d", i)
+		}
+	}
+}
+
+func TestStatePackRoundTrip(t *testing.T) {
+	b := synth(Config{Bodies: 8, Seed: 9})
+	blob := packState(b, 1, 5)
+	b2 := synth(Config{Bodies: 8, Seed: 10}) // different content
+	if err := unpackState(b2, 1, 5, blob); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 5; i++ {
+		if b2.x[i] != b.x[i] || b2.vz[i] != b.vz[i] {
+			t.Fatalf("state round trip diverged at %d", i)
+		}
+	}
+}
+
+func TestShareBounds(t *testing.T) {
+	for n := 1; n < 50; n++ {
+		for p := 1; p <= 8; p++ {
+			total := 0
+			for r := 0; r < p; r++ {
+				lo, hi := share(n, p, r)
+				total += hi - lo
+			}
+			if total != n {
+				t.Fatalf("share(%d,%d) covers %d", n, p, total)
+			}
+		}
+	}
+}

@@ -1,0 +1,260 @@
+// Package psearch implements the Parallel Search application of the SU
+// PDABS suite (Table 2, Utilities): Boyer-Moore-Horspool substring
+// search over a large corpus scattered in chunks (with pattern-length
+// overlap so boundary matches are not lost), match counts and first
+// positions reduced to the host.
+package psearch
+
+import (
+	"fmt"
+
+	"tooleval/internal/mpt"
+)
+
+// OpsPerByte is the scan cost per corpus byte (skip-table probe).
+const OpsPerByte = 4.0
+
+// Config sizes the benchmark.
+type Config struct {
+	CorpusBytes int
+	Pattern     string
+	Seed        int64
+}
+
+// DefaultConfig scans 1 MB for a recurring phrase.
+func DefaultConfig() Config {
+	return Config{CorpusBytes: 1 << 20, Pattern: "evaluation methodology", Seed: 67}
+}
+
+// Scaled shrinks the corpus.
+func (c Config) Scaled(factor float64) Config {
+	c.CorpusBytes = int(float64(c.CorpusBytes) * factor)
+	if c.CorpusBytes < 4096 {
+		c.CorpusBytes = 4096
+	}
+	return c
+}
+
+// Result summarizes the search.
+type Result struct {
+	Matches int
+	First   int // global offset of first match, -1 if none
+	Scanned int
+}
+
+// Corpus generates deterministic pseudo-text with the pattern seeded in
+// at known-ish intervals.
+func Corpus(cfg Config) []byte {
+	words := []string{"software", "tool", "parallel", "system", "express",
+		"network", "primitive", "message", "benchmark", "syracuse"}
+	out := make([]byte, 0, cfg.CorpusBytes)
+	s := uint64(cfg.Seed)*0x9E3779B97F4A7C15 + 19
+	for len(out) < cfg.CorpusBytes {
+		s = s*6364136223846793005 + 1442695040888963407
+		if s%97 == 0 {
+			out = append(out, cfg.Pattern...)
+		} else {
+			out = append(out, words[s%uint64(len(words))]...)
+		}
+		out = append(out, ' ')
+	}
+	return out[:cfg.CorpusBytes]
+}
+
+// Horspool counts matches of pattern in text, returning the count and
+// first offset (-1 if none).
+func Horspool(text []byte, pattern string) (count, first int) {
+	first = -1
+	m := len(pattern)
+	if m == 0 || len(text) < m {
+		return 0, -1
+	}
+	var skip [256]int
+	for i := range skip {
+		skip[i] = m
+	}
+	for i := 0; i < m-1; i++ {
+		skip[pattern[i]] = m - 1 - i
+	}
+	for pos := 0; pos+m <= len(text); {
+		if matchAt(text, pattern, pos) {
+			count++
+			if first == -1 {
+				first = pos
+			}
+			pos++
+			continue
+		}
+		pos += skip[text[pos+m-1]]
+	}
+	return count, first
+}
+
+func matchAt(text []byte, pattern string, pos int) bool {
+	for i := 0; i < len(pattern); i++ {
+		if text[pos+i] != pattern[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Sequential scans the whole corpus.
+func Sequential(cfg Config) (*Result, error) {
+	text := Corpus(cfg)
+	count, first := Horspool(text, cfg.Pattern)
+	return &Result{Matches: count, First: first, Scanned: len(text)}, nil
+}
+
+func chunkShare(total, p, r int) (lo, hi int) {
+	base, rem := total/p, total%p
+	lo = r*base + min(r, rem)
+	hi = lo + base
+	if r < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Parallel scatters overlapping chunks and reduces (count, first). Tags:
+// 90 = chunk, 91 = result.
+func Parallel(ctx *mpt.Ctx, cfg Config) (*Result, error) {
+	const (
+		tagChunk = 90
+		tagRes   = 91
+	)
+	p, me := ctx.Size(), ctx.Rank()
+	m := len(cfg.Pattern)
+
+	var myChunk []byte
+	var myLo int
+	if me == 0 {
+		text := Corpus(cfg)
+		for r := 1; r < p; r++ {
+			lo, hi := chunkShare(len(text), p, r)
+			// Overlap by m-1 bytes so boundary matches are seen exactly
+			// once (counted by the chunk where they start).
+			end := hi + m - 1
+			if end > len(text) {
+				end = len(text)
+			}
+			payload := append(mpt.EncodeInt64s([]int64{int64(lo)}), text[lo:end]...)
+			if err := ctx.Comm.Send(r, tagChunk, payload); err != nil {
+				return nil, fmt.Errorf("psearch scatter to %d: %w", r, err)
+			}
+		}
+		lo, hi := chunkShare(len(text), p, 0)
+		end := hi + m - 1
+		if end > len(text) {
+			end = len(text)
+		}
+		myChunk, myLo = text[lo:end], lo
+	} else {
+		msg, err := ctx.Comm.Recv(0, tagChunk)
+		if err != nil {
+			return nil, fmt.Errorf("psearch chunk recv: %w", err)
+		}
+		if len(msg.Data) < 8 {
+			return nil, fmt.Errorf("psearch: chunk header truncated")
+		}
+		off, err := mpt.DecodeInt64s(msg.Data[:8])
+		if err != nil {
+			return nil, err
+		}
+		myLo, myChunk = int(off[0]), msg.Data[8:]
+	}
+
+	// Count matches that START within my nominal share (the overlap tail
+	// belongs to the next chunk).
+	lo2, hi2 := chunkShare(cfg.CorpusBytes, p, me)
+	nominal := hi2 - lo2
+	count, first := horspoolLimited(myChunk, cfg.Pattern, nominal)
+	ctx.Charge(OpsPerByte * float64(len(myChunk)))
+	globalFirst := -1
+	if first >= 0 {
+		globalFirst = myLo + first
+	}
+
+	enc := mpt.EncodeInt64s([]int64{int64(count), int64(globalFirst), int64(nominal)})
+	if me != 0 {
+		return nil, ctx.Comm.Send(0, tagRes, enc)
+	}
+	total := &Result{Matches: count, First: globalFirst, Scanned: nominal}
+	for r := 1; r < p; r++ {
+		msg, err := ctx.Comm.Recv(r, tagRes)
+		if err != nil {
+			return nil, fmt.Errorf("psearch reduce from %d: %w", r, err)
+		}
+		v, err := mpt.DecodeInt64s(msg.Data)
+		if err != nil {
+			return nil, err
+		}
+		total.Matches += int(v[0])
+		if v[1] >= 0 && (total.First == -1 || int(v[1]) < total.First) {
+			total.First = int(v[1])
+		}
+		total.Scanned += int(v[2])
+	}
+	return total, nil
+}
+
+// horspoolLimited counts matches starting before limit. The chunk
+// carries an overlap tail so matches straddling the boundary are seen,
+// but only the chunk where a match starts counts it.
+func horspoolLimited(text []byte, pattern string, limit int) (count, first int) {
+	first = -1
+	m := len(pattern)
+	if m == 0 {
+		return 0, -1
+	}
+	var skip [256]int
+	for i := range skip {
+		skip[i] = m
+	}
+	for i := 0; i < m-1; i++ {
+		skip[pattern[i]] = m - 1 - i
+	}
+	for pos := 0; pos+m <= len(text) && pos < limit; {
+		if matchAt(text, pattern, pos) {
+			count++
+			if first == -1 {
+				first = pos
+			}
+			pos++
+			continue
+		}
+		pos += skip[text[pos+m-1]]
+	}
+	return count, first
+}
+
+// VerifyAgainstSequential checks count, first offset and coverage.
+func VerifyAgainstSequential(cfg Config, par *Result) error {
+	if par == nil {
+		return fmt.Errorf("psearch: nil parallel result")
+	}
+	seq, err := Sequential(cfg)
+	if err != nil {
+		return err
+	}
+	if par.Matches != seq.Matches {
+		return fmt.Errorf("psearch: %d matches != %d", par.Matches, seq.Matches)
+	}
+	if par.First != seq.First {
+		return fmt.Errorf("psearch: first %d != %d", par.First, seq.First)
+	}
+	if par.Scanned != seq.Scanned {
+		return fmt.Errorf("psearch: scanned %d != %d", par.Scanned, seq.Scanned)
+	}
+	if seq.Matches == 0 {
+		return fmt.Errorf("psearch: corpus contained no matches — workload degenerate")
+	}
+	return nil
+}

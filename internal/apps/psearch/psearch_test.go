@@ -1,0 +1,100 @@
+package psearch
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHorspoolKnown(t *testing.T) {
+	text := []byte("the cat sat on the mat with the cat")
+	count, first := Horspool(text, "cat")
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+	if first != 4 {
+		t.Fatalf("first = %d, want 4", first)
+	}
+}
+
+func TestHorspoolNoMatch(t *testing.T) {
+	count, first := Horspool([]byte("aaaa"), "b")
+	if count != 0 || first != -1 {
+		t.Fatalf("got (%d,%d), want (0,-1)", count, first)
+	}
+}
+
+func TestHorspoolOverlapping(t *testing.T) {
+	count, _ := Horspool([]byte("aaaa"), "aa")
+	if count != 3 {
+		t.Fatalf("overlapping matches = %d, want 3", count)
+	}
+}
+
+func TestHorspoolPatternLongerThanText(t *testing.T) {
+	count, first := Horspool([]byte("ab"), "abc")
+	if count != 0 || first != -1 {
+		t.Fatalf("got (%d,%d)", count, first)
+	}
+}
+
+// Property: Horspool agrees with the naive counter.
+func TestPropertyHorspoolMatchesNaive(t *testing.T) {
+	prop := func(textRaw []byte, patRaw uint8) bool {
+		// Use a small alphabet so matches actually occur.
+		alphabet := "abc"
+		text := make([]byte, len(textRaw))
+		for i, b := range textRaw {
+			text[i] = alphabet[int(b)%len(alphabet)]
+		}
+		pats := []string{"a", "ab", "abc", "ba", "aa", "cab"}
+		pattern := pats[int(patRaw)%len(pats)]
+		gotC, gotF := Horspool(text, pattern)
+		wantC, wantF := 0, -1
+		for i := 0; i+len(pattern) <= len(text); i++ {
+			if bytes.HasPrefix(text[i:], []byte(pattern)) {
+				wantC++
+				if wantF == -1 {
+					wantF = i
+				}
+			}
+		}
+		return gotC == wantC && gotF == wantF
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorpusContainsPattern(t *testing.T) {
+	cfg := Config{CorpusBytes: 64 << 10, Pattern: "needle in text", Seed: 3}
+	text := Corpus(cfg)
+	if !strings.Contains(string(text), cfg.Pattern) {
+		t.Fatal("corpus generator must seed the pattern")
+	}
+}
+
+func TestHorspoolLimitedBoundary(t *testing.T) {
+	text := []byte("xxneedlexx")
+	// Match starts at 2; with limit 2 it must not count, with 3 it must.
+	if c, _ := horspoolLimited(text, "needle", 2); c != 0 {
+		t.Fatalf("limit 2: count = %d, want 0", c)
+	}
+	if c, f := horspoolLimited(text, "needle", 3); c != 1 || f != 2 {
+		t.Fatalf("limit 3: got (%d,%d), want (1,2)", c, f)
+	}
+}
+
+func TestSequentialFindsSeededMatches(t *testing.T) {
+	res, err := Sequential(Config{CorpusBytes: 128 << 10, Pattern: "evaluation methodology", Seed: 67})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matches == 0 {
+		t.Fatal("no matches in seeded corpus")
+	}
+	if res.First < 0 {
+		t.Fatal("first offset missing")
+	}
+}

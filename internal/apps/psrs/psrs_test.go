@@ -1,0 +1,152 @@
+package psrs
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSequentialSorts(t *testing.T) {
+	res, err := Sequential(Config{Records: 10_000, RecordBytes: 64, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 10_000 {
+		t.Fatalf("count = %d", res.Count)
+	}
+	if res.Min > res.Max {
+		t.Fatalf("min %d > max %d", res.Min, res.Max)
+	}
+}
+
+func TestGenerateGlobalMultisetInvariantAcrossP(t *testing.T) {
+	cfg := Config{Records: 5_000, RecordBytes: 64, Seed: 2}
+	base := generate(cfg, 0, 1)
+	for p := 2; p <= 8; p++ {
+		var union []int64
+		for r := 0; r < p; r++ {
+			union = append(union, generate(cfg, r, p)...)
+		}
+		if len(union) != len(base) {
+			t.Fatalf("p=%d: %d keys, want %d", p, len(union), len(base))
+		}
+		a := append([]int64(nil), base...)
+		b := append([]int64(nil), union...)
+		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+		sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("p=%d: multiset differs at %d", p, i)
+			}
+		}
+	}
+}
+
+func TestMergeRuns(t *testing.T) {
+	runs := [][]int64{{1, 5, 9}, {2, 2, 8}, {}, {0, 10}}
+	got := mergeRuns(runs)
+	want := []int64{0, 1, 2, 2, 5, 8, 9, 10}
+	if len(got) != len(want) {
+		t.Fatalf("merge length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merge[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPropertyMergeSortedRuns(t *testing.T) {
+	prop := func(raw [][]int16) bool {
+		runs := make([][]int64, len(raw))
+		total := 0
+		for i, r := range raw {
+			run := make([]int64, len(r))
+			for j, v := range r {
+				run[j] = int64(v)
+			}
+			sort.Slice(run, func(a, b int) bool { return run[a] < run[b] })
+			runs[i] = run
+			total += len(run)
+		}
+		got := mergeRuns(runs)
+		if len(got) != total {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i-1] > got[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFingerprintOrderSensitivity(t *testing.T) {
+	a := []int64{1, 2, 3}
+	b := []int64{3, 2, 1}
+	oa, ma := fingerprint(a)
+	ob, mb := fingerprint(b)
+	if ma != mb {
+		t.Fatal("multiset fingerprint should be order-independent")
+	}
+	if oa == ob {
+		t.Fatal("ordered fingerprint should be order-sensitive")
+	}
+}
+
+func TestSummarizeRejectsUnsorted(t *testing.T) {
+	if _, err := summarize([]int64{3, 1, 2}, []int{3}); err == nil {
+		t.Fatal("unsorted output should be rejected")
+	}
+}
+
+func TestLoadImbalance(t *testing.T) {
+	r := &Result{Count: 100, PartSizes: []int{25, 25, 25, 25}}
+	if got := r.LoadImbalance(); got != 1.0 {
+		t.Fatalf("perfect balance = %f, want 1.0", got)
+	}
+	r2 := &Result{Count: 100, PartSizes: []int{40, 20, 20, 20}}
+	if got := r2.LoadImbalance(); got != 1.6 {
+		t.Fatalf("imbalance = %f, want 1.6", got)
+	}
+}
+
+func TestScaledFloor(t *testing.T) {
+	if DefaultConfig().Scaled(0.0000001).Records < 64 {
+		t.Fatal("scaled keys below floor")
+	}
+}
+
+func TestRecordCodecRoundTrip(t *testing.T) {
+	keys := []int64{0, 1, -5, 1 << 40, 999_999_937}
+	for _, rb := range []int{8, 16, 64, 100} {
+		enc := encodeRecords(keys, rb)
+		if len(enc) != len(keys)*rb {
+			t.Fatalf("rb=%d: encoded %d bytes, want %d", rb, len(enc), len(keys)*rb)
+		}
+		got, err := decodeRecords(enc, rb)
+		if err != nil {
+			t.Fatalf("rb=%d: %v", rb, err)
+		}
+		for i := range keys {
+			if got[i] != keys[i] {
+				t.Fatalf("rb=%d: key %d: %d != %d", rb, i, got[i], keys[i])
+			}
+		}
+	}
+}
+
+func TestRecordCodecDetectsCorruption(t *testing.T) {
+	enc := encodeRecords([]int64{42, 43}, 64)
+	enc[70] ^= 0xFF // payload byte of record 1
+	if _, err := decodeRecords(enc, 64); err == nil {
+		t.Fatal("corrupted payload should be detected")
+	}
+	if _, err := decodeRecords(enc[:63], 64); err == nil {
+		t.Fatal("truncated record should be detected")
+	}
+}

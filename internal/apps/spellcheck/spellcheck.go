@@ -1,0 +1,253 @@
+// Package spellcheck implements the Distributed Spell Checker application
+// of the SU PDABS suite (Table 2, Utilities): the host broadcasts the
+// dictionary, scatters document chunks on word boundaries, nodes check
+// their chunk against a hash set, and the misspelled words are gathered —
+// the §1 "system utilities" class.
+package spellcheck
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tooleval/internal/mpt"
+)
+
+// Cost model: per-word hash + probe, per-dictionary-byte table build.
+const (
+	OpsPerWord     = 12.0
+	OpsPerDictByte = 2.0
+)
+
+// Config sizes the benchmark.
+type Config struct {
+	Words int
+	Seed  int64
+}
+
+// DefaultConfig checks a 200K-word document.
+func DefaultConfig() Config { return Config{Words: 200_000, Seed: 71} }
+
+// Scaled shrinks the document.
+func (c Config) Scaled(factor float64) Config {
+	c.Words = int(float64(c.Words) * factor)
+	if c.Words < 256 {
+		c.Words = 256
+	}
+	return c
+}
+
+// Dictionary returns the known-word list (sorted).
+func Dictionary() []string {
+	return []string{
+		"a", "algorithm", "all", "and", "application", "architecture",
+		"benchmark", "broadcast", "cluster", "communication", "computing",
+		"criteria", "data", "development", "distributed", "environment",
+		"evaluation", "express", "fast", "for", "fourier", "heterogeneous",
+		"high", "image", "in", "interface", "is", "jpeg", "level", "message",
+		"methodology", "model", "network", "node", "of", "on", "parallel",
+		"passing", "performance", "platform", "primitive", "processing",
+		"processor", "pvm", "receive", "ring", "send", "software", "sorting",
+		"sun", "synchronization", "syracuse", "system", "the", "to", "tool",
+		"transform", "workstation",
+	}
+}
+
+// Document generates a word stream with deterministic typos sprinkled in.
+func Document(cfg Config) []string {
+	dict := Dictionary()
+	words := make([]string, cfg.Words)
+	s := uint64(cfg.Seed)*0x9E3779B97F4A7C15 + 23
+	for i := range words {
+		s = s*6364136223846793005 + 1442695040888963407
+		w := dict[s%uint64(len(dict))]
+		if s%41 == 0 && len(w) > 2 {
+			// Typo: swap two letters.
+			b := []byte(w)
+			b[0], b[1] = b[1], b[0]
+			w = string(b)
+		}
+		words[i] = w
+	}
+	return words
+}
+
+// Result summarizes a check.
+type Result struct {
+	Checked     int
+	Misspelled  int
+	UniqueTypos []string // sorted unique misspellings
+}
+
+func check(words []string, dict map[string]bool) (miss int, typos map[string]int) {
+	typos = map[string]int{}
+	for _, w := range words {
+		if !dict[w] {
+			miss++
+			typos[w]++
+		}
+	}
+	return miss, typos
+}
+
+func dictSet() map[string]bool {
+	m := make(map[string]bool, len(Dictionary()))
+	for _, w := range Dictionary() {
+		m[w] = true
+	}
+	return m
+}
+
+// Sequential checks the whole document.
+func Sequential(cfg Config) (*Result, error) {
+	words := Document(cfg)
+	miss, typos := check(words, dictSet())
+	return &Result{Checked: len(words), Misspelled: miss, UniqueTypos: sortedKeys(typos)}, nil
+}
+
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func wordShare(total, p, r int) (lo, hi int) {
+	base, rem := total/p, total%p
+	lo = r*base + min(r, rem)
+	hi = lo + base
+	if r < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Parallel broadcasts the dictionary, scatters word chunks, and gathers
+// per-chunk misspelling reports. Tags: 100 = dictionary, 101 = chunk,
+// 102 = report.
+func Parallel(ctx *mpt.Ctx, cfg Config) (*Result, error) {
+	const (
+		tagDict  = 100
+		tagChunk = 101
+		tagRep   = 102
+	)
+	p, me := ctx.Size(), ctx.Rank()
+
+	// Dictionary broadcast (host loads it).
+	var dictBlob []byte
+	if me == 0 {
+		dictBlob = []byte(strings.Join(Dictionary(), "\n"))
+	}
+	dictBlob, err := ctx.Comm.Bcast(0, tagDict, dictBlob)
+	if err != nil {
+		return nil, fmt.Errorf("spellcheck dict bcast: %w", err)
+	}
+	dict := map[string]bool{}
+	for _, w := range strings.Split(string(dictBlob), "\n") {
+		if w != "" {
+			dict[w] = true
+		}
+	}
+	ctx.Charge(OpsPerDictByte * float64(len(dictBlob)))
+
+	// Scatter document chunks.
+	var myWords []string
+	if me == 0 {
+		words := Document(cfg)
+		for r := 1; r < p; r++ {
+			lo, hi := wordShare(len(words), p, r)
+			if err := ctx.Comm.Send(r, tagChunk, []byte(strings.Join(words[lo:hi], " "))); err != nil {
+				return nil, fmt.Errorf("spellcheck scatter to %d: %w", r, err)
+			}
+		}
+		lo, hi := wordShare(len(words), p, 0)
+		myWords = words[lo:hi]
+	} else {
+		msg, err := ctx.Comm.Recv(0, tagChunk)
+		if err != nil {
+			return nil, fmt.Errorf("spellcheck chunk recv: %w", err)
+		}
+		if len(msg.Data) > 0 {
+			myWords = strings.Split(string(msg.Data), " ")
+		}
+	}
+
+	miss, typos := check(myWords, dict)
+	ctx.Charge(OpsPerWord * float64(len(myWords)))
+
+	report := fmt.Sprintf("%d %d %s", len(myWords), miss, strings.Join(sortedKeys(typos), " "))
+	if me != 0 {
+		return nil, ctx.Comm.Send(0, tagRep, []byte(report))
+	}
+	total := &Result{Checked: len(myWords), Misspelled: miss}
+	uniq := map[string]bool{}
+	for t := range typos {
+		uniq[t] = true
+	}
+	for r := 1; r < p; r++ {
+		msg, err := ctx.Comm.Recv(r, tagRep)
+		if err != nil {
+			return nil, fmt.Errorf("spellcheck report from %d: %w", r, err)
+		}
+		parts := strings.Fields(string(msg.Data))
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("spellcheck: malformed report from %d", r)
+		}
+		var checked, missed int
+		if _, err := fmt.Sscan(parts[0], &checked); err != nil {
+			return nil, err
+		}
+		if _, err := fmt.Sscan(parts[1], &missed); err != nil {
+			return nil, err
+		}
+		total.Checked += checked
+		total.Misspelled += missed
+		for _, t := range parts[2:] {
+			uniq[t] = true
+		}
+	}
+	for t := range uniq {
+		total.UniqueTypos = append(total.UniqueTypos, t)
+	}
+	sort.Strings(total.UniqueTypos)
+	return total, nil
+}
+
+// VerifyAgainstSequential checks the distributed check found exactly the
+// sequential result.
+func VerifyAgainstSequential(cfg Config, par *Result) error {
+	if par == nil {
+		return fmt.Errorf("spellcheck: nil parallel result")
+	}
+	seq, err := Sequential(cfg)
+	if err != nil {
+		return err
+	}
+	if par.Checked != seq.Checked {
+		return fmt.Errorf("spellcheck: checked %d != %d", par.Checked, seq.Checked)
+	}
+	if par.Misspelled != seq.Misspelled {
+		return fmt.Errorf("spellcheck: misspelled %d != %d", par.Misspelled, seq.Misspelled)
+	}
+	if len(par.UniqueTypos) != len(seq.UniqueTypos) {
+		return fmt.Errorf("spellcheck: %d unique typos != %d", len(par.UniqueTypos), len(seq.UniqueTypos))
+	}
+	for i := range par.UniqueTypos {
+		if par.UniqueTypos[i] != seq.UniqueTypos[i] {
+			return fmt.Errorf("spellcheck: typo list diverges at %d: %q vs %q", i, par.UniqueTypos[i], seq.UniqueTypos[i])
+		}
+	}
+	if seq.Misspelled == 0 {
+		return fmt.Errorf("spellcheck: document contained no typos — workload degenerate")
+	}
+	return nil
+}

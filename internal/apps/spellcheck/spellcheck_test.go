@@ -1,0 +1,63 @@
+package spellcheck
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestDictionarySorted(t *testing.T) {
+	d := Dictionary()
+	if !sort.StringsAreSorted(d) {
+		t.Fatal("dictionary must be sorted")
+	}
+	if len(d) < 40 {
+		t.Fatalf("dictionary has %d words", len(d))
+	}
+}
+
+func TestCheckFindsTypos(t *testing.T) {
+	dict := dictSet()
+	miss, typos := check([]string{"the", "teh", "tool", "tol"}, dict)
+	if miss != 2 {
+		t.Fatalf("miss = %d, want 2", miss)
+	}
+	if !typosHas(typos, "teh") || !typosHas(typos, "tol") {
+		t.Fatalf("typos = %v", typos)
+	}
+}
+
+func typosHas(m map[string]int, w string) bool { _, ok := m[w]; return ok }
+
+func TestDocumentTypoRate(t *testing.T) {
+	cfg := Config{Words: 50_000, Seed: 71}
+	res, err := Sequential(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := float64(res.Misspelled) / float64(res.Checked)
+	if rate < 0.005 || rate > 0.08 {
+		t.Fatalf("typo rate %.3f outside plausible band", rate)
+	}
+	if len(res.UniqueTypos) == 0 {
+		t.Fatal("no unique typos reported")
+	}
+	for _, typo := range res.UniqueTypos {
+		if dictSet()[typo] {
+			t.Fatalf("%q reported as typo but is in the dictionary", typo)
+		}
+	}
+}
+
+func TestSequentialDeterministic(t *testing.T) {
+	a, err := Sequential(Config{Words: 5000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sequential(Config{Words: 5000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Misspelled != b.Misspelled || len(a.UniqueTypos) != len(b.UniqueTypos) {
+		t.Fatal("sequential spellcheck not deterministic")
+	}
+}

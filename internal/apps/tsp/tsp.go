@@ -1,0 +1,284 @@
+// Package tsp implements the Traveling Salesman / Branch and Bound
+// applications of the SU PDABS suite (Table 2, Simulation/Optimization):
+// exact TSP by depth-first branch and bound with a nearest-neighbour
+// initial incumbent. The first-level branches are partitioned cyclically
+// across processors and incumbents are exchanged at the end — the static
+// work-distribution scheme 1995 codes used, whose "data dependent"
+// balance the paper calls out for this application class.
+package tsp
+
+import (
+	"fmt"
+	"math"
+
+	"tooleval/internal/mpt"
+)
+
+// OpsPerNode is the cost per branch-and-bound tree node expansion.
+const OpsPerNode = 40.0
+
+// Config sizes the benchmark.
+type Config struct {
+	Cities int
+	Seed   int64
+}
+
+// DefaultConfig solves a 13-city instance exactly.
+func DefaultConfig() Config { return Config{Cities: 13, Seed: 83} }
+
+// Scaled shrinks the instance.
+func (c Config) Scaled(factor float64) Config {
+	n := int(float64(c.Cities) * factor)
+	if n < 6 {
+		n = 6
+	}
+	if n > c.Cities {
+		n = c.Cities
+	}
+	c.Cities = n
+	return c
+}
+
+// Result is the optimal tour.
+type Result struct {
+	Cities    int
+	BestCost  float64
+	Tour      []int
+	NodesOpen int64 // tree nodes expanded (work measure)
+}
+
+// instance generates city coordinates and the distance matrix.
+func instance(cfg Config) [][]float64 {
+	n := cfg.Cities
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	s := uint64(cfg.Seed)*0x9E3779B97F4A7C15 + 37
+	for i := 0; i < n; i++ {
+		s = s*6364136223846793005 + 1442695040888963407
+		xs[i] = float64(s>>11) / float64(1<<53) * 100
+		s = s*6364136223846793005 + 1442695040888963407
+		ys[i] = float64(s>>11) / float64(1<<53) * 100
+	}
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			d[i][j] = math.Hypot(xs[i]-xs[j], ys[i]-ys[j])
+		}
+	}
+	return d
+}
+
+// nearestNeighbour builds the initial incumbent.
+func nearestNeighbour(d [][]float64) (float64, []int) {
+	n := len(d)
+	visited := make([]bool, n)
+	tour := make([]int, 0, n)
+	cur := 0
+	visited[0] = true
+	tour = append(tour, 0)
+	cost := 0.0
+	for len(tour) < n {
+		best, bd := -1, math.Inf(1)
+		for j := 0; j < n; j++ {
+			if !visited[j] && d[cur][j] < bd {
+				best, bd = j, d[cur][j]
+			}
+		}
+		visited[best] = true
+		tour = append(tour, best)
+		cost += bd
+		cur = best
+	}
+	cost += d[cur][0]
+	return cost, tour
+}
+
+type solver struct {
+	d        [][]float64
+	n        int
+	best     float64
+	bestTour []int
+	visited  []bool
+	path     []int
+	nodes    int64
+	// minEdge[i] is the cheapest edge out of i, for the lower bound.
+	minEdge []float64
+}
+
+func newSolver(d [][]float64, incumbent float64) *solver {
+	n := len(d)
+	s := &solver{d: d, n: n, best: incumbent, visited: make([]bool, n), minEdge: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		m := math.Inf(1)
+		for j := 0; j < n; j++ {
+			if i != j && d[i][j] < m {
+				m = d[i][j]
+			}
+		}
+		s.minEdge[i] = m
+	}
+	return s
+}
+
+// bound is a lower bound on completing the current path: cost so far plus
+// the cheapest outgoing edge of every unvisited city and of the current
+// city.
+func (s *solver) bound(cost float64, cur int) float64 {
+	b := cost + s.minEdge[cur]
+	for j := 0; j < s.n; j++ {
+		if !s.visited[j] {
+			b += s.minEdge[j]
+		}
+	}
+	return b
+}
+
+func (s *solver) dfs(cur int, cost float64) {
+	s.nodes++
+	if len(s.path) == s.n {
+		total := cost + s.d[cur][0]
+		if total < s.best {
+			s.best = total
+			s.bestTour = append(s.bestTour[:0], s.path...)
+		}
+		return
+	}
+	if s.bound(cost, cur) >= s.best {
+		return
+	}
+	for j := 1; j < s.n; j++ {
+		if s.visited[j] {
+			continue
+		}
+		s.visited[j] = true
+		s.path = append(s.path, j)
+		s.dfs(j, cost+s.d[cur][j])
+		s.path = s.path[:len(s.path)-1]
+		s.visited[j] = false
+	}
+}
+
+// solveBranch explores only tours whose first hop is 0 -> first.
+func (s *solver) solveBranch(first int) {
+	s.visited[0] = true
+	s.visited[first] = true
+	s.path = append(s.path[:0], 0, first)
+	s.dfs(first, s.d[0][first])
+	s.visited[first] = false
+	s.path = s.path[:1]
+}
+
+// Sequential solves the instance exactly.
+func Sequential(cfg Config) (*Result, error) {
+	d := instance(cfg)
+	inc, incTour := nearestNeighbour(d)
+	s := newSolver(d, inc)
+	s.bestTour = append([]int(nil), incTour...)
+	s.visited[0] = true
+	s.path = append(s.path, 0)
+	for first := 1; first < s.n; first++ {
+		s.solveBranch(first)
+	}
+	return &Result{Cities: cfg.Cities, BestCost: s.best, Tour: canonical(s.bestTour), NodesOpen: s.nodes}, nil
+}
+
+// canonical orients a tour so comparisons are direction-independent.
+func canonical(tour []int) []int {
+	if len(tour) < 3 {
+		return append([]int(nil), tour...)
+	}
+	out := append([]int(nil), tour...)
+	if out[1] > out[len(out)-1] {
+		for i, j := 1, len(out)-1; i < j; i, j = i+1, j-1 {
+			out[i], out[j] = out[j], out[i]
+		}
+	}
+	return out
+}
+
+// Parallel partitions first-hop branches cyclically; every rank solves
+// its branches against the shared nearest-neighbour incumbent and rank 0
+// reduces the winners. Tags: 140 = result.
+func Parallel(ctx *mpt.Ctx, cfg Config) (*Result, error) {
+	const tagRes = 140
+	p, me := ctx.Size(), ctx.Rank()
+	d := instance(cfg) // deterministic on every rank
+	inc, incTour := nearestNeighbour(d)
+
+	s := newSolver(d, inc)
+	s.bestTour = append([]int(nil), incTour...)
+	s.visited[0] = true
+	s.path = append(s.path, 0)
+	for first := 1 + me; first < s.n; first += p {
+		s.solveBranch(first)
+	}
+	ctx.Charge(OpsPerNode * float64(s.nodes))
+
+	// Encode [cost, nodes, tour...].
+	enc := make([]float64, 0, 2+len(s.bestTour))
+	enc = append(enc, s.best, float64(s.nodes))
+	for _, c := range s.bestTour {
+		enc = append(enc, float64(c))
+	}
+	if me != 0 {
+		return nil, ctx.Comm.Send(0, tagRes, mpt.EncodeFloat64s(enc))
+	}
+	best, bestTour, nodes := s.best, s.bestTour, s.nodes
+	for r := 1; r < p; r++ {
+		msg, err := ctx.Comm.Recv(r, tagRes)
+		if err != nil {
+			return nil, fmt.Errorf("tsp reduce from %d: %w", r, err)
+		}
+		v, err := mpt.DecodeFloat64s(msg.Data)
+		if err != nil {
+			return nil, err
+		}
+		if len(v) < 2 {
+			return nil, fmt.Errorf("tsp: malformed result from %d", r)
+		}
+		nodes += int64(v[1])
+		if v[0] < best {
+			best = v[0]
+			bestTour = bestTour[:0]
+			for _, c := range v[2:] {
+				bestTour = append(bestTour, int(c))
+			}
+		}
+	}
+	return &Result{Cities: cfg.Cities, BestCost: best, Tour: canonical(bestTour), NodesOpen: nodes}, nil
+}
+
+// VerifyAgainstSequential checks optimality: identical cost (the branch
+// partition cannot change the optimum) and a valid tour of that cost.
+func VerifyAgainstSequential(cfg Config, par *Result) error {
+	if par == nil {
+		return fmt.Errorf("tsp: nil parallel result")
+	}
+	seq, err := Sequential(cfg)
+	if err != nil {
+		return err
+	}
+	if math.Abs(par.BestCost-seq.BestCost) > 1e-9 {
+		return fmt.Errorf("tsp: cost %f != %f", par.BestCost, seq.BestCost)
+	}
+	// Audit the tour: a permutation visiting every city with the claimed
+	// cost.
+	d := instance(cfg)
+	if len(par.Tour) != cfg.Cities {
+		return fmt.Errorf("tsp: tour has %d cities, want %d", len(par.Tour), cfg.Cities)
+	}
+	seen := make([]bool, cfg.Cities)
+	cost := 0.0
+	for i, c := range par.Tour {
+		if c < 0 || c >= cfg.Cities || seen[c] {
+			return fmt.Errorf("tsp: invalid tour %v", par.Tour)
+		}
+		seen[c] = true
+		cost += d[c][par.Tour[(i+1)%len(par.Tour)]]
+	}
+	if math.Abs(cost-par.BestCost) > 1e-9 {
+		return fmt.Errorf("tsp: tour cost %f != claimed %f", cost, par.BestCost)
+	}
+	return nil
+}

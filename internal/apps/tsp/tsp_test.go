@@ -1,0 +1,109 @@
+package tsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNearestNeighbourValid(t *testing.T) {
+	d := instance(Config{Cities: 10, Seed: 1})
+	cost, tour := nearestNeighbour(d)
+	if len(tour) != 10 {
+		t.Fatalf("tour length %d", len(tour))
+	}
+	seen := map[int]bool{}
+	for _, c := range tour {
+		if seen[c] {
+			t.Fatalf("city %d visited twice", c)
+		}
+		seen[c] = true
+	}
+	if cost <= 0 {
+		t.Fatalf("cost %g", cost)
+	}
+}
+
+func TestOptimalNeverWorseThanGreedy(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		cfg := Config{Cities: 9, Seed: seed}
+		d := instance(cfg)
+		greedy, _ := nearestNeighbour(d)
+		res, err := Sequential(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.BestCost > greedy+1e-9 {
+			t.Fatalf("seed %d: optimal %g worse than greedy %g", seed, res.BestCost, greedy)
+		}
+	}
+}
+
+func TestBruteForceAgreementSmall(t *testing.T) {
+	cfg := Config{Cities: 7, Seed: 11}
+	d := instance(cfg)
+	res, err := Sequential(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exhaustive check over all permutations of 6 remaining cities.
+	perm := []int{1, 2, 3, 4, 5, 6}
+	best := math.Inf(1)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(perm) {
+			cost := d[0][perm[0]]
+			for i := 0; i+1 < len(perm); i++ {
+				cost += d[perm[i]][perm[i+1]]
+			}
+			cost += d[perm[len(perm)-1]][0]
+			if cost < best {
+				best = cost
+			}
+			return
+		}
+		for i := k; i < len(perm); i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	if math.Abs(res.BestCost-best) > 1e-9 {
+		t.Fatalf("B&B %g != brute force %g", res.BestCost, best)
+	}
+}
+
+func TestBoundIsAdmissible(t *testing.T) {
+	cfg := Config{Cities: 8, Seed: 3}
+	d := instance(cfg)
+	s := newSolver(d, math.Inf(1))
+	s.visited[0] = true
+	s.path = append(s.path, 0)
+	// The bound from the start must not exceed the optimal cost.
+	res, err := Sequential(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := s.bound(0, 0); b > res.BestCost+1e-9 {
+		t.Fatalf("root bound %g exceeds optimum %g — inadmissible", b, res.BestCost)
+	}
+}
+
+func TestCanonicalOrientation(t *testing.T) {
+	a := canonical([]int{0, 3, 1, 2})
+	b := canonical([]int{0, 2, 1, 3})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("reversed tours not canonicalized: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestScaledBounds(t *testing.T) {
+	if DefaultConfig().Scaled(0.01).Cities < 6 {
+		t.Fatal("scaled below floor")
+	}
+	if DefaultConfig().Scaled(10).Cities > DefaultConfig().Cities {
+		t.Fatal("scale must not grow past the default (exact solver)")
+	}
+}

@@ -1,0 +1,90 @@
+package vigenere
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	plain := []byte("ATTACKATDAWN")
+	cipher, err := Encrypt(plain, "LEMON")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Classic test vector: ATTACKATDAWN + LEMON = LXFOPVEFRNHR.
+	if string(cipher) != "LXFOPVEFRNHR" {
+		t.Fatalf("cipher = %s, want LXFOPVEFRNHR", cipher)
+	}
+	if string(Decrypt(cipher, "LEMON")) != string(plain) {
+		t.Fatal("decrypt failed")
+	}
+}
+
+func TestEncryptValidation(t *testing.T) {
+	if _, err := Encrypt([]byte("HELLO"), ""); err == nil {
+		t.Fatal("empty key should error")
+	}
+	if _, err := Encrypt([]byte("hello"), "KEY"); err == nil {
+		t.Fatal("lowercase plaintext should error")
+	}
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	prop := func(raw []byte, keyRaw []byte) bool {
+		if len(keyRaw) == 0 {
+			keyRaw = []byte{3}
+		}
+		plain := make([]byte, len(raw))
+		for i, b := range raw {
+			plain[i] = 'A' + b%26
+		}
+		key := make([]byte, len(keyRaw)%12+1)
+		for i := range key {
+			key[i] = 'A' + keyRaw[i%len(keyRaw)]%26
+		}
+		cipher, err := Encrypt(plain, string(key))
+		if err != nil {
+			return false
+		}
+		return string(Decrypt(cipher, string(key))) == string(plain)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrackRecoversKey(t *testing.T) {
+	cfg := Config{PlainWords: 5000, Key: "NPAC", MaxKeyLen: 10, Seed: 2}
+	res, err := Sequential(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RecoveredKey != "NPAC" {
+		t.Fatalf("recovered %q, want NPAC (len %d, score %g)", res.RecoveredKey, res.KeyLen, res.Score)
+	}
+}
+
+func TestCrackPrefersShortestPeriod(t *testing.T) {
+	cfg := Config{PlainWords: 8000, Key: "AB", MaxKeyLen: 12, Seed: 5}
+	res, err := Sequential(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.KeyLen != 2 {
+		t.Fatalf("key length %d, want 2 (multiples must not win)", res.KeyLen)
+	}
+}
+
+func TestCrackLengthExactShift(t *testing.T) {
+	// Single-letter key = Caesar cipher; crackLength(1) must find it.
+	cfg := Config{PlainWords: 3000, Key: "Q", MaxKeyLen: 4, Seed: 7}
+	plain := Plaintext(cfg)
+	cipher, err := Encrypt(plain, "Q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, _ := crackLength(cipher, 1)
+	if key != "Q" {
+		t.Fatalf("Caesar crack got %q, want Q", key)
+	}
+}

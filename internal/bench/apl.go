@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"fmt"
+
+	"tooleval/internal/apps"
+	"tooleval/internal/mpt"
+	"tooleval/internal/mpt/tools"
+	"tooleval/internal/platform"
+)
+
+// APLSeries is one application's execution-time curve for one tool on
+// one platform — one line on Figures 5-8.
+type APLSeries struct {
+	App      string
+	Platform string
+	Tool     string
+	Procs    []int
+	Seconds  []float64
+}
+
+// ProcSweep returns the processor counts the paper sweeps on a platform
+// (1..MaxProcs, restricted to counts the application accepts).
+func ProcSweep(pf platform.Platform, app apps.App) []int {
+	var out []int
+	for p := 1; p <= pf.MaxProcs; p++ {
+		if app.ValidProcs(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// RunAPL executes one application across the processor sweep and returns
+// its curve. Results are verified against the sequential reference at
+// every point — a benchmark data point that computed the wrong answer is
+// an error, not a number.
+func RunAPL(pf platform.Platform, toolName, appName string, procsList []int, scale float64) (APLSeries, error) {
+	s := APLSeries{App: appName, Platform: pf.Key, Tool: toolName}
+	if !pf.Supports(toolName) {
+		return s, fmt.Errorf("bench: %s has no %s port (paper §3.1)", pf.Name, toolName)
+	}
+	app, err := apps.Get(appName)
+	if err != nil {
+		return s, err
+	}
+	factory, err := tools.Factory(toolName)
+	if err != nil {
+		return s, err
+	}
+	for _, procs := range procsList {
+		if !app.ValidProcs(procs) {
+			continue
+		}
+		res, err := mpt.Run(pf, factory, mpt.RunConfig{Procs: procs}, func(c *mpt.Ctx) (any, error) {
+			return app.Run(c, scale)
+		})
+		if err != nil {
+			return s, fmt.Errorf("bench: %s/%s/%s procs=%d: %w", pf.Key, toolName, appName, procs, err)
+		}
+		if err := app.Verify(res.Value, procs, scale); err != nil {
+			return s, fmt.Errorf("bench: %s/%s/%s procs=%d verification: %w", pf.Key, toolName, appName, procs, err)
+		}
+		secs := res.Elapsed.Seconds()
+		// Applications that time an inner phase (the FFT excludes its
+		// verification-only scatter/gather) report it themselves.
+		if t, ok := res.Value.(interface{ InnerSeconds() (float64, bool) }); ok {
+			if inner, valid := t.InnerSeconds(); valid {
+				secs = inner
+			}
+		}
+		s.Procs = append(s.Procs, procs)
+		s.Seconds = append(s.Seconds, secs)
+	}
+	return s, nil
+}

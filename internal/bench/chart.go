@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ASCIIChart renders a figure's series as a terminal plot — the
+// reproduction's stand-in for the paper's gnuplot figures. Markers are
+// assigned per series; overlapping points show the later series' marker.
+func (f *FigureResult) ASCIIChart(width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 8 {
+		height = 8
+	}
+	var xMin, xMax, yMax float64
+	first := true
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if first {
+				xMin, xMax = p.X, p.X
+				first = false
+			}
+			xMin = math.Min(xMin, p.X)
+			xMax = math.Max(xMax, p.X)
+			yMax = math.Max(yMax, p.Y)
+		}
+	}
+	if first || yMax == 0 || xMax == xMin {
+		return "(no data)\n"
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	markers := []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+	for si, s := range f.Series {
+		m := markers[si%len(markers)]
+		for _, p := range s.Points {
+			col := int((p.X - xMin) / (xMax - xMin) * float64(width-1))
+			row := height - 1 - int(p.Y/yMax*float64(height-1))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][col] = m
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", f.Title, f.YLabel)
+	for i, row := range grid {
+		yVal := yMax * float64(height-1-i) / float64(height-1)
+		fmt.Fprintf(&b, "%10.2f |%s|\n", yVal, row)
+	}
+	fmt.Fprintf(&b, "%10s +%s+\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%10s  %-*.5g%*.5g   (%s)\n", "", width/2, xMin, width-width/2, xMax, f.XLabel)
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "  %c = %s (%s)\n", markers[si%len(markers)], s.Tool, s.Platform)
+	}
+	return b.String()
+}

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func chartFixture() *FigureResult {
+	return &FigureResult{
+		ID: "test", Title: "Test figure", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Tool: "p4", Platform: "sun-ethernet", Points: []Point{{X: 0, Y: 1}, {X: 32, Y: 50}, {X: 64, Y: 100}}},
+			{Tool: "pvm", Platform: "sun-ethernet", Points: []Point{{X: 0, Y: 5}, {X: 32, Y: 80}, {X: 64, Y: 200}}},
+		},
+	}
+}
+
+func TestASCIIChartStructure(t *testing.T) {
+	text := chartFixture().ASCIIChart(60, 15)
+	lines := strings.Split(strings.TrimSpace(text), "\n")
+	// Title + 15 plot rows + axis + labels + 2 legend lines.
+	if len(lines) != 1+15+2+2 {
+		t.Fatalf("chart has %d lines:\n%s", len(lines), text)
+	}
+	if !strings.Contains(text, "* = p4") || !strings.Contains(text, "+ = pvm") {
+		t.Fatalf("legend missing:\n%s", text)
+	}
+	// Top row should carry the max marker (pvm's 200 point).
+	if !strings.Contains(lines[1], "+") {
+		t.Fatalf("max point not on top row: %q", lines[1])
+	}
+}
+
+func TestASCIIChartEmpty(t *testing.T) {
+	fig := &FigureResult{ID: "empty", Title: "Empty"}
+	if got := fig.ASCIIChart(40, 10); got != "(no data)\n" {
+		t.Fatalf("empty chart = %q", got)
+	}
+}
+
+func TestASCIIChartMinimumDimensions(t *testing.T) {
+	text := chartFixture().ASCIIChart(1, 1)
+	if len(text) == 0 || !strings.Contains(text, "p4") {
+		t.Fatal("degenerate dimensions should be clamped, not crash")
+	}
+}
+
+func TestASCIIChartRealFigure(t *testing.T) {
+	fig, err := Fig3(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := fig.ASCIIChart(70, 20)
+	if !strings.Contains(text, "Ring") {
+		t.Fatalf("chart missing title:\n%s", text)
+	}
+}

@@ -1,0 +1,362 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tooleval/internal/core"
+	"tooleval/internal/paperdata"
+	"tooleval/internal/platform"
+)
+
+// Experiment identifiers, one per table/figure of the paper's evaluation
+// section.
+const (
+	ExpTable3 = "table3"
+	ExpTable4 = "table4"
+	ExpFig2   = "fig2"
+	ExpFig3   = "fig3"
+	ExpFig4   = "fig4"
+	ExpFig5   = "fig5"
+	ExpFig6   = "fig6"
+	ExpFig7   = "fig7"
+	ExpFig8   = "fig8"
+	ExpADL    = "adl"
+)
+
+// Experiments lists all experiment ids in paper order.
+func Experiments() []string {
+	return []string{ExpTable3, ExpTable4, ExpFig2, ExpFig3, ExpFig4, ExpFig5, ExpFig6, ExpFig7, ExpFig8, ExpADL}
+}
+
+// Table3Result holds the regenerated Table 3.
+type Table3Result struct {
+	SizesBytes []int
+	// TimesMs[network][tool][sizeIdx]; networks keyed "ethernet",
+	// "atm-lan", "atm-wan" as in paperdata.
+	TimesMs map[string]map[string][]float64
+}
+
+// Table3 regenerates the snd/recv timing table over the three SUN
+// networks.
+func Table3() (*Table3Result, error) {
+	res := &Table3Result{SizesBytes: StandardSizes(), TimesMs: map[string]map[string][]float64{}}
+	for _, net := range []string{"ethernet", "atm-lan", "atm-wan"} {
+		pf, err := platform.Get(paperdata.Table3PlatformKey[net])
+		if err != nil {
+			return nil, err
+		}
+		res.TimesMs[net] = map[string][]float64{}
+		for _, tool := range []string{"p4", "pvm", "express"} {
+			if !pf.Supports(tool) {
+				continue // Express has no NYNET column
+			}
+			times, err := PingPong(pf, tool, res.SizesBytes)
+			if err != nil {
+				return nil, err
+			}
+			res.TimesMs[net][tool] = times
+		}
+	}
+	return res, nil
+}
+
+// Render formats the regenerated table next to the paper's values.
+func (r *Table3Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 3: snd/recv round-trip timing for SUN SPARCstations (ms)\n")
+	b.WriteString("         sim = this reproduction, paper = Hariri et al. 1995\n\n")
+	for _, net := range []string{"ethernet", "atm-lan", "atm-wan"} {
+		fmt.Fprintf(&b, "--- %s ---\n", net)
+		fmt.Fprintf(&b, "%-9s", "KB")
+		for _, tool := range []string{"p4", "pvm", "express"} {
+			if _, ok := r.TimesMs[net][tool]; ok {
+				fmt.Fprintf(&b, " %9s-sim %9s-ppr", tool, tool)
+			}
+		}
+		b.WriteString("\n")
+		for i, size := range r.SizesBytes {
+			fmt.Fprintf(&b, "%-9d", size/1024)
+			for _, tool := range []string{"p4", "pvm", "express"} {
+				sim, ok := r.TimesMs[net][tool]
+				if !ok {
+					continue
+				}
+				paper := 0.0
+				if pp, ok := paperdata.Table3[tool][net]; ok && i < len(pp) {
+					paper = pp[i]
+				}
+				fmt.Fprintf(&b, " %13.2f %13.2f", sim[i], paper)
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// Measurements converts Table 3 output into methodology input.
+func (r *Table3Result) Measurements() []core.PrimitiveMeasurement {
+	var out []core.PrimitiveMeasurement
+	nets := make([]string, 0, len(r.TimesMs))
+	for net := range r.TimesMs {
+		nets = append(nets, net)
+	}
+	sort.Strings(nets)
+	for _, net := range nets {
+		tools := make([]string, 0, len(r.TimesMs[net]))
+		for t := range r.TimesMs[net] {
+			tools = append(tools, t)
+		}
+		sort.Strings(tools)
+		for _, tool := range tools {
+			out = append(out, core.PrimitiveMeasurement{
+				Platform:  paperdata.Table3PlatformKey[net],
+				Primitive: "send/receive",
+				Tool:      tool,
+				Sizes:     r.SizesBytes,
+				TimesMs:   r.TimesMs[net][tool],
+			})
+		}
+	}
+	return out
+}
+
+// FigureResult is a regenerated TPL figure: one or more series per
+// platform.
+type FigureResult struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Fig2 regenerates the broadcast figure (4 SUNs, Ethernet and ATM WAN).
+func Fig2(procs int) (*FigureResult, error) {
+	return tplFigure(ExpFig2, "Broadcast timing", procs, StandardSizes(), Broadcast)
+}
+
+// Fig3 regenerates the ring figure.
+func Fig3(procs int) (*FigureResult, error) {
+	return tplFigure(ExpFig3, "Ring (loop) timing", procs, StandardSizes(), Ring)
+}
+
+func tplFigure(id, title string, procs int, sizes []int, run func(platform.Platform, string, int, []int) ([]float64, error)) (*FigureResult, error) {
+	fig := &FigureResult{ID: id, Title: title + " on SUN stations", XLabel: "Message Size (Kbytes)", YLabel: "Execution Time (msec)"}
+	for _, key := range []string{"sun-ethernet", "sun-atm-wan"} {
+		pf, err := platform.Get(key)
+		if err != nil {
+			return nil, err
+		}
+		for _, tool := range []string{"p4", "pvm", "express"} {
+			if !pf.Supports(tool) {
+				continue
+			}
+			times, err := run(pf, tool, procs, sizes)
+			if err != nil {
+				return nil, err
+			}
+			s := Series{Tool: tool, Platform: key}
+			for i, sz := range sizes {
+				s.Points = append(s.Points, Point{X: float64(sz) / 1024, Y: times[i]})
+			}
+			fig.Series = append(fig.Series, s)
+		}
+	}
+	return fig, nil
+}
+
+// Fig4 regenerates the global summation figure (p4 and Express on
+// Ethernet, p4 on NYNET; PVM has no global operation).
+func Fig4(procs int) (*FigureResult, error) {
+	fig := &FigureResult{
+		ID: ExpFig4, Title: "Vector global-sum timing on SUN stations",
+		XLabel: "Vector Size (# of integers)", YLabel: "Execution Time (msec)",
+	}
+	lens := VectorSizes()
+	eth, err := platform.Get("sun-ethernet")
+	if err != nil {
+		return nil, err
+	}
+	for _, tool := range []string{"p4", "express"} {
+		times, err := GlobalSum(eth, tool, procs, lens)
+		if err != nil {
+			return nil, err
+		}
+		s := Series{Tool: tool, Platform: "sun-ethernet"}
+		for i, n := range lens {
+			s.Points = append(s.Points, Point{X: float64(n), Y: times[i]})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	wan, err := platform.Get("sun-atm-wan")
+	if err != nil {
+		return nil, err
+	}
+	times, err := GlobalSum(wan, "p4", procs, lens)
+	if err != nil {
+		return nil, err
+	}
+	s := Series{Tool: "p4-NYNET", Platform: "sun-atm-wan"}
+	for i, n := range lens {
+		s.Points = append(s.Points, Point{X: float64(n), Y: times[i]})
+	}
+	fig.Series = append(fig.Series, s)
+	return fig, nil
+}
+
+// APLFigure regenerates one of Figures 5-8: the four applications on one
+// platform across the tool set and processor sweep.
+func APLFigure(figID string, scale float64) (*FigureResult, []core.AppMeasurement, error) {
+	var spec *struct {
+		Figure   string
+		Platform string
+		MaxProcs int
+		Tools    []string
+	}
+	for i := range paperdata.APLPlatforms {
+		if paperdata.APLPlatforms[i].Figure == figID {
+			spec = &paperdata.APLPlatforms[i]
+			break
+		}
+	}
+	if spec == nil {
+		return nil, nil, fmt.Errorf("bench: unknown APL figure %q", figID)
+	}
+	pf, err := platform.Get(spec.Platform)
+	if err != nil {
+		return nil, nil, err
+	}
+	fig := &FigureResult{
+		ID: figID, Title: "Application performances on " + pf.Name,
+		XLabel: "Number of Processors", YLabel: "Execution Time (seconds)",
+	}
+	var measurements []core.AppMeasurement
+	procs := make([]int, 0, spec.MaxProcs)
+	for p := 1; p <= spec.MaxProcs; p++ {
+		procs = append(procs, p)
+	}
+	for _, app := range paperdata.APLApps {
+		for _, tool := range spec.Tools {
+			series, err := RunAPL(pf, tool, app, procs, scale)
+			if err != nil {
+				return nil, nil, err
+			}
+			s := Series{Tool: tool + "/" + app, Platform: pf.Key}
+			for i := range series.Procs {
+				s.Points = append(s.Points, Point{X: float64(series.Procs[i]), Y: series.Seconds[i]})
+			}
+			fig.Series = append(fig.Series, s)
+			measurements = append(measurements, core.AppMeasurement{
+				Platform: pf.Key, App: app, Tool: tool,
+				Procs: series.Procs, Seconds: series.Seconds,
+			})
+		}
+	}
+	return fig, measurements, nil
+}
+
+// Render formats a figure's series as aligned text columns.
+func (f *FigureResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%s)\n%s vs %s\n\n", f.Title, f.ID, f.YLabel, f.XLabel)
+	byPlatform := map[string][]Series{}
+	var order []string
+	for _, s := range f.Series {
+		if _, ok := byPlatform[s.Platform]; !ok {
+			order = append(order, s.Platform)
+		}
+		byPlatform[s.Platform] = append(byPlatform[s.Platform], s)
+	}
+	for _, pfKey := range order {
+		group := byPlatform[pfKey]
+		fmt.Fprintf(&b, "--- %s ---\n", pfKey)
+		fmt.Fprintf(&b, "%-12s", "x")
+		for _, s := range group {
+			fmt.Fprintf(&b, " %14s", s.Tool)
+		}
+		b.WriteString("\n")
+		if len(group) == 0 || len(group[0].Points) == 0 {
+			continue
+		}
+		for i := range group[0].Points {
+			fmt.Fprintf(&b, "%-12.0f", group[0].Points[i].X)
+			for _, s := range group {
+				if i < len(s.Points) {
+					fmt.Fprintf(&b, " %14.3f", s.Points[i].Y)
+				} else {
+					fmt.Fprintf(&b, " %14s", "-")
+				}
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// DatFile renders the figure as a gnuplot-style whitespace-separated data
+// file (one block per platform, column per series).
+func (f *FigureResult) DatFile() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s — %s\n# x: %s, y: %s\n", f.ID, f.Title, f.XLabel, f.YLabel)
+	fmt.Fprintf(&b, "# columns: x")
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, " %s@%s", s.Tool, s.Platform)
+	}
+	b.WriteString("\n")
+	if len(f.Series) == 0 {
+		return b.String()
+	}
+	maxLen := 0
+	for _, s := range f.Series {
+		if len(s.Points) > maxLen {
+			maxLen = len(s.Points)
+		}
+	}
+	for i := 0; i < maxLen; i++ {
+		x := 0.0
+		for _, s := range f.Series {
+			if i < len(s.Points) {
+				x = s.Points[i].X
+				break
+			}
+		}
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range f.Series {
+			if i < len(s.Points) {
+				fmt.Fprintf(&b, " %g", s.Points[i].Y)
+			} else {
+				b.WriteString(" nan")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Table4FromMeasurements derives the Table 4 rankings from regenerated
+// TPL data (send/receive from Table 3; broadcast, ring and global sum
+// from Figures 2-4).
+func Table4FromMeasurements(t3 *Table3Result, fig2, fig3, fig4 *FigureResult) []core.PrimitiveRanking {
+	var ms []core.PrimitiveMeasurement
+	ms = append(ms, t3.Measurements()...)
+	add := func(fig *FigureResult, primitive string) {
+		for _, s := range fig.Series {
+			tool := s.Tool
+			if tool == "p4-NYNET" {
+				continue // separate curve, not a ranking entry
+			}
+			m := core.PrimitiveMeasurement{Platform: s.Platform, Primitive: primitive, Tool: tool}
+			for _, p := range s.Points {
+				m.Sizes = append(m.Sizes, int(p.X*1024))
+				m.TimesMs = append(m.TimesMs, p.Y)
+			}
+			ms = append(ms, m)
+		}
+	}
+	add(fig2, "broadcast")
+	add(fig3, "ring")
+	add(fig4, "global sum")
+	return core.RankPrimitives(ms)
+}

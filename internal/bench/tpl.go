@@ -1,0 +1,198 @@
+// Package bench is the benchmark harness that regenerates every table and
+// figure of the paper's evaluation section: the Tool Performance Level
+// micro-benchmarks (send/receive, broadcast, ring, global sum — Table 3,
+// Figures 2-4), the Application Performance Level sweeps (Figures 5-8),
+// and the derived rankings (Table 4).
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"tooleval/internal/mpt"
+	"tooleval/internal/mpt/tools"
+	"tooleval/internal/platform"
+)
+
+// StandardSizes are the message sizes of Table 3 and Figures 2-3, in
+// bytes: 0 through 64 Kbytes.
+func StandardSizes() []int {
+	return []int{0, 1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10}
+}
+
+// VectorSizes are the global-sum vector lengths of Figure 4 (number of
+// 4-byte integers, 0..100K).
+func VectorSizes() []int {
+	return []int{1000, 10_000, 25_000, 50_000, 75_000, 100_000}
+}
+
+// Point is one (x, y) sample of a figure series.
+type Point struct {
+	X float64 // message size in KB, vector length, or processor count
+	Y float64 // milliseconds (TPL) or seconds (APL)
+}
+
+// Series is one tool's curve on one figure.
+type Series struct {
+	Tool     string
+	Platform string
+	Points   []Point
+}
+
+// PingPong measures the round-trip send/receive time (Table 3's
+// benchmark): rank 0 sends size bytes to rank 1 and waits for the echo.
+// The result is the round-trip time in milliseconds for each size.
+func PingPong(pf platform.Platform, toolName string, sizes []int) ([]float64, error) {
+	factory, err := tools.Factory(toolName)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, 0, len(sizes))
+	for _, size := range sizes {
+		payload := testPayload(size)
+		res, err := mpt.Run(pf, factory, mpt.RunConfig{Procs: 2}, func(c *mpt.Ctx) (any, error) {
+			const tag = 1
+			if c.Rank() == 0 {
+				t0 := c.Now()
+				if err := c.Comm.Send(1, tag, payload); err != nil {
+					return nil, err
+				}
+				msg, err := c.Comm.Recv(1, tag)
+				if err != nil {
+					return nil, err
+				}
+				if len(msg.Data) != size {
+					return nil, fmt.Errorf("echo returned %d bytes, want %d", len(msg.Data), size)
+				}
+				return (c.Now() - t0).Milliseconds(), nil
+			}
+			msg, err := c.Comm.Recv(0, tag)
+			if err != nil {
+				return nil, err
+			}
+			return nil, c.Comm.Send(0, tag, msg.Data)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ping-pong %s/%s size %d: %w", pf.Key, toolName, size, err)
+		}
+		ms, ok := res.Value.(float64)
+		if !ok {
+			return nil, fmt.Errorf("ping-pong %s/%s: no timing value", pf.Key, toolName)
+		}
+		out = append(out, ms)
+	}
+	return out, nil
+}
+
+// Broadcast measures the collective broadcast of Figure 2: rank 0's data
+// reaching all procs ranks. The reported time is until the slowest rank
+// holds the data.
+func Broadcast(pf platform.Platform, toolName string, procs int, sizes []int) ([]float64, error) {
+	factory, err := tools.Factory(toolName)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, 0, len(sizes))
+	for _, size := range sizes {
+		payload := testPayload(size)
+		res, err := mpt.Run(pf, factory, mpt.RunConfig{Procs: procs}, func(c *mpt.Ctx) (any, error) {
+			var in []byte
+			if c.Rank() == 0 {
+				in = payload
+			}
+			got, err := c.Comm.Bcast(0, 2, in)
+			if err != nil {
+				return nil, err
+			}
+			if len(got) != size {
+				return nil, fmt.Errorf("bcast delivered %d bytes, want %d", len(got), size)
+			}
+			return nil, nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("broadcast %s/%s size %d: %w", pf.Key, toolName, size, err)
+		}
+		out = append(out, float64(res.Elapsed)/float64(time.Millisecond))
+	}
+	return out, nil
+}
+
+// Ring measures the loop benchmark of Figure 3 ("all nodes send and
+// receive", §1): every rank simultaneously passes a size-byte message to
+// its successor and receives one from its predecessor. The reported time
+// is until the slowest rank holds its incoming message — continuous
+// bidirectional flow, which is where the paper observes Express
+// overtaking PVM despite losing the isolated send/receive race.
+func Ring(pf platform.Platform, toolName string, procs int, sizes []int) ([]float64, error) {
+	factory, err := tools.Factory(toolName)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, 0, len(sizes))
+	for _, size := range sizes {
+		payload := testPayload(size)
+		res, err := mpt.Run(pf, factory, mpt.RunConfig{Procs: procs}, func(c *mpt.Ctx) (any, error) {
+			const tag = 3
+			next := (c.Rank() + 1) % c.Size()
+			prev := (c.Rank() + c.Size() - 1) % c.Size()
+			if err := c.Comm.Send(next, tag, payload); err != nil {
+				return nil, err
+			}
+			msg, err := c.Comm.Recv(prev, tag)
+			if err != nil {
+				return nil, err
+			}
+			if len(msg.Data) != size {
+				return nil, fmt.Errorf("ring returned %d bytes, want %d", len(msg.Data), size)
+			}
+			return nil, nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ring %s/%s size %d: %w", pf.Key, toolName, size, err)
+		}
+		out = append(out, float64(res.Elapsed)/float64(time.Millisecond))
+	}
+	return out, nil
+}
+
+// GlobalSum measures Figure 4's benchmark: the element-wise global sum of
+// an integer vector across procs ranks (p4_global_op / excombine; PVM
+// reports mpt.ErrNotSupported as in Table 1).
+func GlobalSum(pf platform.Platform, toolName string, procs int, vectorLens []int) ([]float64, error) {
+	factory, err := tools.Factory(toolName)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, 0, len(vectorLens))
+	for _, n := range vectorLens {
+		n := n
+		res, err := mpt.Run(pf, factory, mpt.RunConfig{Procs: procs}, func(c *mpt.Ctx) (any, error) {
+			vec := make([]int64, n)
+			for i := range vec {
+				vec[i] = int64(c.Rank() + i)
+			}
+			sum, err := c.Comm.GlobalSumInt64(vec)
+			if err != nil {
+				return nil, err
+			}
+			if len(sum) != n {
+				return nil, fmt.Errorf("global sum returned %d elements, want %d", len(sum), n)
+			}
+			return nil, nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("global sum %s/%s n=%d: %w", pf.Key, toolName, n, err)
+		}
+		out = append(out, float64(res.Elapsed)/float64(time.Millisecond))
+	}
+	return out, nil
+}
+
+// testPayload builds a deterministic payload of the given size.
+func testPayload(size int) []byte {
+	b := make([]byte, size)
+	for i := range b {
+		b[i] = byte(i*131 + 7)
+	}
+	return b
+}

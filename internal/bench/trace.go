@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"fmt"
+
+	"tooleval/internal/mpt"
+	"tooleval/internal/mpt/tools"
+	"tooleval/internal/platform"
+	"tooleval/internal/sim"
+)
+
+// TraceRun executes a small ping-pong under the named tool with the
+// engine's execution trace enabled and returns the formatted event log —
+// the reproduction's answer to the ADL debugging-support criterion ("the
+// ability to trace the execution of the parallel application", §2.3).
+// maxEvents caps the log (0 = everything).
+func TraceRun(pf platform.Platform, toolName string, size, maxEvents int) ([]string, error) {
+	factory, err := tools.Factory(toolName)
+	if err != nil {
+		return nil, err
+	}
+	var events []string
+	trace := func(ev sim.TraceEvent) {
+		if maxEvents > 0 && len(events) >= maxEvents {
+			return
+		}
+		line := fmt.Sprintf("%12.3fms  %-6s", ev.T.Milliseconds(), ev.Kind)
+		if ev.Proc != "" {
+			line += " " + ev.Proc
+		}
+		if ev.Detail != "" {
+			line += "  (" + ev.Detail + ")"
+		}
+		events = append(events, line)
+	}
+	payload := testPayload(size)
+	_, err = mpt.Run(pf, factory, mpt.RunConfig{Procs: 2, Trace: trace}, func(c *mpt.Ctx) (any, error) {
+		const tag = 1
+		if c.Rank() == 0 {
+			if err := c.Comm.Send(1, tag, payload); err != nil {
+				return nil, err
+			}
+			_, err := c.Comm.Recv(1, tag)
+			return nil, err
+		}
+		msg, err := c.Comm.Recv(0, tag)
+		if err != nil {
+			return nil, err
+		}
+		return nil, c.Comm.Send(0, tag, msg.Data)
+	})
+	if err != nil {
+		return events, err
+	}
+	return events, nil
+}

@@ -1,0 +1,296 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func tplFixture() []PrimitiveMeasurement {
+	return []PrimitiveMeasurement{
+		{Platform: "eth", Primitive: "send/receive", Tool: "p4", Sizes: []int{0, 1024}, TimesMs: []float64{3, 4}},
+		{Platform: "eth", Primitive: "send/receive", Tool: "pvm", Sizes: []int{0, 1024}, TimesMs: []float64{9, 12}},
+		{Platform: "eth", Primitive: "send/receive", Tool: "express", Sizes: []int{0, 1024}, TimesMs: []float64{5, 10}},
+		{Platform: "eth", Primitive: "global sum", Tool: "p4", Sizes: []int{1000}, TimesMs: []float64{100}},
+		{Platform: "eth", Primitive: "global sum", Tool: "express", Sizes: []int{1000}, TimesMs: []float64{200}},
+		// PVM has no global sum — Table 1's "Not Available".
+	}
+}
+
+func aplFixture() []AppMeasurement {
+	return []AppMeasurement{
+		{Platform: "eth", App: "jpeg", Tool: "p4", Procs: []int{1, 2}, Seconds: []float64{10, 5}},
+		{Platform: "eth", App: "jpeg", Tool: "pvm", Procs: []int{1, 2}, Seconds: []float64{11, 6}},
+		{Platform: "eth", App: "jpeg", Tool: "express", Procs: []int{1, 2}, Seconds: []float64{12, 8}},
+	}
+}
+
+func adlFixture() UsabilityMatrix {
+	return UsabilityMatrix{
+		"Ease of Programming": {"p4": PartiallySupported, "pvm": WellSupported, "express": PartiallySupported},
+		"Customization":       {"p4": PartiallySupported, "pvm": NotSupported, "express": PartiallySupported},
+	}
+}
+
+func TestRatingParseAndScore(t *testing.T) {
+	for _, tc := range []struct {
+		s    string
+		r    Rating
+		want float64
+	}{{"NS", NotSupported, 0}, {"PS", PartiallySupported, 0.5}, {"WS", WellSupported, 1}} {
+		r, err := ParseRating(tc.s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r != tc.r || r.Score() != tc.want || r.String() != tc.s {
+			t.Fatalf("%s: got %v score %f", tc.s, r, r.Score())
+		}
+	}
+	if _, err := ParseRating("XX"); err == nil {
+		t.Fatal("bad rating should error")
+	}
+}
+
+func TestProfilesValid(t *testing.T) {
+	for _, p := range Profiles() {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+	}
+	bad := WeightProfile{Name: "bad", Levels: map[Level]float64{TPL: 0.5}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("non-normalized profile should fail validation")
+	}
+	neg := WeightProfile{Name: "neg", Levels: map[Level]float64{TPL: 1.5, APL: -0.5}}
+	if err := neg.Validate(); err == nil {
+		t.Fatal("negative weight should fail validation")
+	}
+}
+
+func TestEvaluateFullStack(t *testing.T) {
+	m, err := New(EndUserProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := m.Evaluate(tplFixture(), aplFixture(), adlFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p4 is fastest everywhere, so it must rank first for the end-user
+	// profile (APL-weighted).
+	if ev.Ranking[0] != "p4" {
+		t.Fatalf("ranking = %v, want p4 first", ev.Ranking)
+	}
+	for _, tool := range ev.Tools {
+		for l, scores := range ev.Levels {
+			s := scores[tool]
+			if s < 0 || s > 1 {
+				t.Fatalf("%s %s score %f out of [0,1]", tool, l, s)
+			}
+		}
+		if ev.Overall[tool] < 0 || ev.Overall[tool] > 1 {
+			t.Fatalf("%s overall %f out of [0,1]", tool, ev.Overall[tool])
+		}
+	}
+	// The best tool in every cell scores exactly 1 at TPL? p4 is best at
+	// both cells, so its TPL score must be 1.
+	if math.Abs(ev.Levels[TPL]["p4"]-1) > 1e-9 {
+		t.Fatalf("p4 TPL score = %f, want 1.0", ev.Levels[TPL]["p4"])
+	}
+	// PVM must be penalized for the missing global sum.
+	foundNote := false
+	for _, n := range ev.Notes {
+		if strings.Contains(n, "pvm has no global sum") {
+			foundNote = true
+		}
+	}
+	if !foundNote {
+		t.Fatalf("expected a note about PVM's missing global sum, got %v", ev.Notes)
+	}
+}
+
+func TestEvaluateADLOrdering(t *testing.T) {
+	// With the paper's full matrix, PVM has the most WS cells and should
+	// win ADL; p4, with no WS outside the commodity rows, should trail.
+	matrix := UsabilityMatrix{
+		"Programming Models Supported":            {"p4": WellSupported, "pvm": WellSupported, "express": WellSupported},
+		"Language Interface":                      {"p4": WellSupported, "pvm": WellSupported, "express": WellSupported},
+		"Ease of Programming":                     {"p4": PartiallySupported, "pvm": WellSupported, "express": PartiallySupported},
+		"Debugging Support":                       {"p4": PartiallySupported, "pvm": PartiallySupported, "express": WellSupported},
+		"Customization":                           {"p4": PartiallySupported, "pvm": NotSupported, "express": PartiallySupported},
+		"Error Handling":                          {"p4": PartiallySupported, "pvm": PartiallySupported, "express": PartiallySupported},
+		"Run-Time Interface":                      {"p4": PartiallySupported, "pvm": WellSupported, "express": WellSupported},
+		"Integration with other Software Systems": {"p4": PartiallySupported, "pvm": WellSupported, "express": NotSupported},
+		"Portability":                             {"p4": WellSupported, "pvm": WellSupported, "express": WellSupported},
+	}
+	m, err := New(DeveloperProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := m.Evaluate(nil, nil, matrix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adl := ev.Levels[ADL]
+	if !(adl["pvm"] > adl["p4"]) {
+		t.Fatalf("ADL: pvm (%f) should outscore p4 (%f)", adl["pvm"], adl["p4"])
+	}
+	if !(adl["express"] > adl["p4"]) {
+		t.Fatalf("ADL: express (%f) should outscore p4 (%f)", adl["express"], adl["p4"])
+	}
+}
+
+func TestEvaluateMissingLevelRedistributesWeight(t *testing.T) {
+	m, err := New(EndUserProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := m.Evaluate(tplFixture(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only TPL present: overall == TPL score.
+	for _, tool := range ev.Tools {
+		if math.Abs(ev.Overall[tool]-ev.Levels[TPL][tool]) > 1e-9 {
+			t.Fatalf("%s: overall %f != TPL %f with single level", tool, ev.Overall[tool], ev.Levels[TPL][tool])
+		}
+	}
+}
+
+func TestEvaluateEmptyFails(t *testing.T) {
+	m, err := New(EndUserProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Evaluate(nil, nil, nil); err == nil {
+		t.Fatal("empty evaluation should error")
+	}
+}
+
+func TestPropertyFasterNeverScoresLower(t *testing.T) {
+	// Improving one tool's time can never lower its own score.
+	prop := func(base uint16, improvement uint16) bool {
+		t1 := float64(base%1000) + 10
+		t2 := t1 - float64(improvement%1000)*0.005*t1/10
+		if t2 <= 0 {
+			t2 = 0.1
+		}
+		mk := func(pvmTime float64) float64 {
+			m, _ := New(SystemManagerProfile())
+			ev, err := m.Evaluate([]PrimitiveMeasurement{
+				{Platform: "x", Primitive: "send/receive", Tool: "a", TimesMs: []float64{pvmTime}},
+				{Platform: "x", Primitive: "send/receive", Tool: "b", TimesMs: []float64{50}},
+			}, nil, nil)
+			if err != nil {
+				return -1
+			}
+			return ev.Overall["a"]
+		}
+		return mk(t2) >= mk(t1)-1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyScoreScaleInvariant(t *testing.T) {
+	// Scaling every time by the same constant leaves scores unchanged
+	// (the methodology normalizes within cells).
+	prop := func(scaleRaw uint8) bool {
+		scale := float64(scaleRaw%50) + 1
+		mk := func(s float64) map[string]float64 {
+			m, _ := New(SystemManagerProfile())
+			ev, err := m.Evaluate([]PrimitiveMeasurement{
+				{Platform: "x", Primitive: "ring", Tool: "a", TimesMs: []float64{10 * s, 20 * s}},
+				{Platform: "x", Primitive: "ring", Tool: "b", TimesMs: []float64{15 * s, 18 * s}},
+			}, nil, nil)
+			if err != nil {
+				return nil
+			}
+			return ev.Overall
+		}
+		a, b := mk(1), mk(scale)
+		if a == nil || b == nil {
+			return false
+		}
+		for k := range a {
+			if math.Abs(a[k]-b[k]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRankPrimitives(t *testing.T) {
+	rankings := RankPrimitives(tplFixture())
+	if len(rankings) != 2 {
+		t.Fatalf("got %d rankings, want 2", len(rankings))
+	}
+	var sr, gs PrimitiveRanking
+	for _, r := range rankings {
+		switch r.Primitive {
+		case "send/receive":
+			sr = r
+		case "global sum":
+			gs = r
+		}
+	}
+	if len(sr.Tools) != 3 || sr.Tools[0] != "p4" || sr.Tools[1] != "express" || sr.Tools[2] != "pvm" {
+		t.Fatalf("send/receive ranking = %v", sr.Tools)
+	}
+	if len(gs.Tools) != 2 || gs.Tools[0] != "p4" || gs.Tools[1] != "express" {
+		t.Fatalf("global sum ranking = %v (PVM must be absent)", gs.Tools)
+	}
+}
+
+func TestRenderEvaluationAndTable4(t *testing.T) {
+	m, err := New(EndUserProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := m.Evaluate(tplFixture(), aplFixture(), adlFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := RenderEvaluation(ev)
+	for _, want := range []string{"p4", "pvm", "express", "overall", "end-user"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("report missing %q:\n%s", want, text)
+		}
+	}
+	t4 := RenderTable4(RankPrimitives(tplFixture()), "eth")
+	if !strings.Contains(t4, "send/receive") || !strings.Contains(t4, "global sum") {
+		t.Fatalf("table 4 missing columns:\n%s", t4)
+	}
+	if RenderTable4(nil, "nowhere") == "" {
+		t.Fatal("empty table should still render a message")
+	}
+}
+
+func TestPerPrimitiveWeighting(t *testing.T) {
+	// Weighting ring to zero must make a ring-only-loser win.
+	tpl := []PrimitiveMeasurement{
+		{Platform: "x", Primitive: "send/receive", Tool: "a", TimesMs: []float64{10}},
+		{Platform: "x", Primitive: "send/receive", Tool: "b", TimesMs: []float64{20}},
+		{Platform: "x", Primitive: "ring", Tool: "a", TimesMs: []float64{100}},
+		{Platform: "x", Primitive: "ring", Tool: "b", TimesMs: []float64{10}},
+	}
+	profile := SystemManagerProfile()
+	profile.Primitives = map[string]float64{"ring": 0}
+	m, err := New(profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := m.Evaluate(tpl, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Ranking[0] != "a" {
+		t.Fatalf("with ring weight 0, a should win: %v (%v)", ev.Ranking, ev.Overall)
+	}
+}

@@ -1,0 +1,321 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Evaluation is the outcome of applying the methodology: per-level
+// normalized scores in [0,1] per tool, the weighted overall score, and
+// the resulting ranking.
+type Evaluation struct {
+	Profile WeightProfile
+	Tools   []string
+	// Levels[level][tool] is the normalized level score.
+	Levels map[Level]map[string]float64
+	// Overall[tool] is the weighted combination.
+	Overall map[string]float64
+	// Ranking lists tools best-first by overall score (ties broken by
+	// name for determinism).
+	Ranking []string
+	// Notes records normalization decisions (unsupported primitives,
+	// missing ports) so a reader can audit the numbers.
+	Notes []string
+}
+
+// Methodology applies the multi-level evaluation.
+type Methodology struct {
+	Profile WeightProfile
+}
+
+// New builds a methodology with the given profile.
+func New(profile WeightProfile) (*Methodology, error) {
+	if err := profile.Validate(); err != nil {
+		return nil, err
+	}
+	return &Methodology{Profile: profile}, nil
+}
+
+// Evaluate combines the three levels. Any level may be absent (nil/empty
+// inputs); its weight is redistributed proportionally over the present
+// levels, mirroring the paper's "a criterion can be added or deleted
+// according to the user requirements".
+func (m *Methodology) Evaluate(tpl []PrimitiveMeasurement, apl []AppMeasurement, adl UsabilityMatrix) (*Evaluation, error) {
+	ev := &Evaluation{
+		Profile: m.Profile,
+		Levels:  make(map[Level]map[string]float64),
+		Overall: make(map[string]float64),
+	}
+	toolSet := map[string]bool{}
+	for _, t := range toolsOfTPL(tpl) {
+		toolSet[t] = true
+	}
+	for _, t := range toolsOfAPL(apl) {
+		toolSet[t] = true
+	}
+	for _, per := range adl {
+		for t := range per {
+			toolSet[t] = true
+		}
+	}
+	if len(toolSet) == 0 {
+		return nil, fmt.Errorf("core: nothing to evaluate")
+	}
+	for t := range toolSet {
+		ev.Tools = append(ev.Tools, t)
+	}
+	sort.Strings(ev.Tools)
+
+	present := map[Level]bool{}
+	if len(tpl) > 0 {
+		scores, notes, err := m.scoreTPL(tpl, ev.Tools)
+		if err != nil {
+			return nil, err
+		}
+		ev.Levels[TPL] = scores
+		ev.Notes = append(ev.Notes, notes...)
+		present[TPL] = true
+	}
+	if len(apl) > 0 {
+		scores, notes, err := m.scoreAPL(apl, ev.Tools)
+		if err != nil {
+			return nil, err
+		}
+		ev.Levels[APL] = scores
+		ev.Notes = append(ev.Notes, notes...)
+		present[APL] = true
+	}
+	if len(adl) > 0 {
+		scores, err := m.scoreADL(adl, ev.Tools)
+		if err != nil {
+			return nil, err
+		}
+		ev.Levels[ADL] = scores
+		present[ADL] = true
+	}
+	if len(present) == 0 {
+		return nil, fmt.Errorf("core: no level has measurements")
+	}
+
+	// Redistribute weights of absent levels.
+	totalW := 0.0
+	for l, w := range m.Profile.Levels {
+		if present[l] {
+			totalW += w
+		}
+	}
+	if totalW <= 0 {
+		return nil, fmt.Errorf("core: profile %q gives zero weight to every measured level", m.Profile.Name)
+	}
+	for _, t := range ev.Tools {
+		var s float64
+		for l, w := range m.Profile.Levels {
+			if present[l] {
+				s += (w / totalW) * ev.Levels[l][t]
+			}
+		}
+		ev.Overall[t] = s
+	}
+	ev.Ranking = append([]string(nil), ev.Tools...)
+	sort.SliceStable(ev.Ranking, func(i, j int) bool {
+		a, b := ev.Ranking[i], ev.Ranking[j]
+		if ev.Overall[a] != ev.Overall[b] {
+			return ev.Overall[a] > ev.Overall[b]
+		}
+		return a < b
+	})
+	return ev, nil
+}
+
+func toolsOfTPL(ms []PrimitiveMeasurement) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, m := range ms {
+		if !seen[m.Tool] {
+			seen[m.Tool] = true
+			out = append(out, m.Tool)
+		}
+	}
+	return out
+}
+
+func toolsOfAPL(ms []AppMeasurement) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, m := range ms {
+		if !seen[m.Tool] {
+			seen[m.Tool] = true
+			out = append(out, m.Tool)
+		}
+	}
+	return out
+}
+
+// scoreTPL normalizes primitive curves: for each (platform, primitive)
+// cell, a tool's score is the mean over sizes of best-time/tool-time; a
+// tool without a measurement for a cell (primitive not available — PVM's
+// global sum; no port — Express on NYNET) scores 0 for that cell.
+func (m *Methodology) scoreTPL(ms []PrimitiveMeasurement, tools []string) (map[string]float64, []string, error) {
+	type cellKey struct{ platform, primitive string }
+	cells := map[cellKey]map[string][]float64{}
+	for _, meas := range ms {
+		if len(meas.TimesMs) == 0 {
+			return nil, nil, fmt.Errorf("core: empty TPL measurement %s/%s/%s", meas.Platform, meas.Primitive, meas.Tool)
+		}
+		k := cellKey{meas.Platform, meas.Primitive}
+		if cells[k] == nil {
+			cells[k] = map[string][]float64{}
+		}
+		cells[k][meas.Tool] = meas.TimesMs
+	}
+	var notes []string
+	sums := map[string]float64{}
+	weights := map[string]float64{}
+	keys := make([]cellKey, 0, len(cells))
+	for k := range cells {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].platform != keys[j].platform {
+			return keys[i].platform < keys[j].platform
+		}
+		return keys[i].primitive < keys[j].primitive
+	})
+	for _, k := range keys {
+		byTool := cells[k]
+		n := 0
+		for _, times := range byTool {
+			if n == 0 || len(times) < n {
+				n = len(times)
+			}
+		}
+		w := m.weightOf(m.Profile.Primitives, k.primitive)
+		for _, tool := range tools {
+			times, ok := byTool[tool]
+			weights[tool] += w
+			if !ok {
+				notes = append(notes, fmt.Sprintf("TPL: %s has no %s measurement on %s (scored 0)", tool, k.primitive, k.platform))
+				continue
+			}
+			var cellScore float64
+			for i := 0; i < n; i++ {
+				best := times[i]
+				for _, other := range byTool {
+					if other[i] < best {
+						best = other[i]
+					}
+				}
+				if times[i] > 0 {
+					cellScore += best / times[i]
+				}
+			}
+			sums[tool] += w * cellScore / float64(n)
+		}
+	}
+	return finish(sums, weights, tools), notes, nil
+}
+
+// scoreAPL normalizes application curves the same way, per (platform,
+// app) cell over the processor sweep.
+func (m *Methodology) scoreAPL(ms []AppMeasurement, tools []string) (map[string]float64, []string, error) {
+	type cellKey struct{ platform, app string }
+	cells := map[cellKey]map[string][]float64{}
+	for _, meas := range ms {
+		if len(meas.Seconds) == 0 {
+			return nil, nil, fmt.Errorf("core: empty APL measurement %s/%s/%s", meas.Platform, meas.App, meas.Tool)
+		}
+		k := cellKey{meas.Platform, meas.App}
+		if cells[k] == nil {
+			cells[k] = map[string][]float64{}
+		}
+		cells[k][meas.Tool] = meas.Seconds
+	}
+	var notes []string
+	sums := map[string]float64{}
+	weights := map[string]float64{}
+	keys := make([]cellKey, 0, len(cells))
+	for k := range cells {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].platform != keys[j].platform {
+			return keys[i].platform < keys[j].platform
+		}
+		return keys[i].app < keys[j].app
+	})
+	for _, k := range keys {
+		byTool := cells[k]
+		n := 0
+		for _, s := range byTool {
+			if n == 0 || len(s) < n {
+				n = len(s)
+			}
+		}
+		w := m.weightOf(m.Profile.Apps, k.app)
+		for _, tool := range tools {
+			secs, ok := byTool[tool]
+			weights[tool] += w
+			if !ok {
+				notes = append(notes, fmt.Sprintf("APL: %s has no %s measurement on %s (scored 0)", tool, k.app, k.platform))
+				continue
+			}
+			var cellScore float64
+			for i := 0; i < n; i++ {
+				best := secs[i]
+				for _, other := range byTool {
+					if other[i] < best {
+						best = other[i]
+					}
+				}
+				if secs[i] > 0 {
+					cellScore += best / secs[i]
+				}
+			}
+			sums[tool] += w * cellScore / float64(n)
+		}
+	}
+	return finish(sums, weights, tools), notes, nil
+}
+
+// scoreADL averages the usability ratings under the criterion weights.
+func (m *Methodology) scoreADL(matrix UsabilityMatrix, tools []string) (map[string]float64, error) {
+	sums := map[string]float64{}
+	weights := map[string]float64{}
+	crits := make([]string, 0, len(matrix))
+	for c := range matrix {
+		crits = append(crits, c)
+	}
+	sort.Strings(crits)
+	for _, c := range crits {
+		w := m.weightOf(m.Profile.Criteria, c)
+		for _, tool := range tools {
+			r, ok := matrix[c][tool]
+			if !ok {
+				continue // tool not assessed on this criterion
+			}
+			sums[tool] += w * r.Score()
+			weights[tool] += w
+		}
+	}
+	return finish(sums, weights, tools), nil
+}
+
+func (m *Methodology) weightOf(table map[string]float64, key string) float64 {
+	if table == nil {
+		return 1
+	}
+	if w, ok := table[key]; ok {
+		return w
+	}
+	return 1
+}
+
+func finish(sums, weights map[string]float64, tools []string) map[string]float64 {
+	out := make(map[string]float64, len(tools))
+	for _, t := range tools {
+		if weights[t] > 0 {
+			out[t] = sums[t] / weights[t]
+		}
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// jsonEvaluation is the stable machine-readable form of an Evaluation.
+type jsonEvaluation struct {
+	Profile string                        `json:"profile"`
+	Weights map[string]float64            `json:"level_weights"`
+	Tools   []string                      `json:"tools"`
+	Levels  map[string]map[string]float64 `json:"level_scores"`
+	Overall map[string]float64            `json:"overall"`
+	Ranking []string                      `json:"ranking"`
+	Notes   []string                      `json:"notes,omitempty"`
+}
+
+// MarshalReport renders an Evaluation as indented JSON for downstream
+// tooling (dashboards, regression tracking).
+func MarshalReport(ev *Evaluation) ([]byte, error) {
+	if ev == nil {
+		return nil, fmt.Errorf("core: nil evaluation")
+	}
+	out := jsonEvaluation{
+		Profile: ev.Profile.Name,
+		Weights: map[string]float64{},
+		Tools:   ev.Tools,
+		Levels:  map[string]map[string]float64{},
+		Overall: ev.Overall,
+		Ranking: ev.Ranking,
+		Notes:   ev.Notes,
+	}
+	for l, w := range ev.Profile.Levels {
+		out.Weights[string(l)] = w
+	}
+	for l, scores := range ev.Levels {
+		out.Levels[string(l)] = scores
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// UnmarshalReport parses MarshalReport output back into the summary
+// fields (profile weights are restored; per-item weights are not carried
+// in the JSON form).
+func UnmarshalReport(data []byte) (*Evaluation, error) {
+	var in jsonEvaluation
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("core: parsing report: %w", err)
+	}
+	ev := &Evaluation{
+		Profile: WeightProfile{Name: in.Profile, Levels: map[Level]float64{}},
+		Tools:   in.Tools,
+		Levels:  map[Level]map[string]float64{},
+		Overall: in.Overall,
+		Ranking: in.Ranking,
+		Notes:   in.Notes,
+	}
+	for l, w := range in.Weights {
+		ev.Profile.Levels[Level(l)] = w
+	}
+	for l, scores := range in.Levels {
+		ev.Levels[Level(l)] = scores
+	}
+	return ev, nil
+}

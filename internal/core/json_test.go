@@ -1,0 +1,55 @@
+package core
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	m, err := New(EndUserProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := m.Evaluate(tplFixture(), aplFixture(), adlFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := MarshalReport(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(blob) {
+		t.Fatal("invalid JSON")
+	}
+	back, err := UnmarshalReport(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Profile.Name != ev.Profile.Name {
+		t.Fatalf("profile %q != %q", back.Profile.Name, ev.Profile.Name)
+	}
+	if !reflect.DeepEqual(back.Ranking, ev.Ranking) {
+		t.Fatalf("ranking %v != %v", back.Ranking, ev.Ranking)
+	}
+	if !reflect.DeepEqual(back.Overall, ev.Overall) {
+		t.Fatalf("overall %v != %v", back.Overall, ev.Overall)
+	}
+	for l, scores := range ev.Levels {
+		if !reflect.DeepEqual(back.Levels[l], scores) {
+			t.Fatalf("level %s: %v != %v", l, back.Levels[l], scores)
+		}
+	}
+}
+
+func TestMarshalReportNil(t *testing.T) {
+	if _, err := MarshalReport(nil); err == nil {
+		t.Fatal("nil evaluation should error")
+	}
+}
+
+func TestUnmarshalReportGarbage(t *testing.T) {
+	if _, err := UnmarshalReport([]byte("{not json")); err == nil {
+		t.Fatal("garbage should error")
+	}
+}

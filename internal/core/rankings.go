@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// PrimitiveRanking orders tools fastest-first for one primitive on one
+// platform — one cell of the paper's Table 4.
+type PrimitiveRanking struct {
+	Platform  string
+	Primitive string
+	// Tools fastest first; tools without a measurement are omitted
+	// (Table 4 leaves PVM out of the global-sum column).
+	Tools []string
+	// MeanMs carries the per-tool mean time behind the ranking.
+	MeanMs map[string]float64
+}
+
+// RankPrimitives derives Table 4 from TPL measurements: for every
+// (platform, primitive) cell, tools ordered by mean time over the size
+// sweep.
+func RankPrimitives(ms []PrimitiveMeasurement) []PrimitiveRanking {
+	type key struct{ platform, primitive string }
+	cells := map[key]map[string]float64{}
+	for _, m := range ms {
+		if len(m.TimesMs) == 0 {
+			continue
+		}
+		var sum float64
+		for _, t := range m.TimesMs {
+			sum += t
+		}
+		k := key{m.Platform, m.Primitive}
+		if cells[k] == nil {
+			cells[k] = map[string]float64{}
+		}
+		cells[k][m.Tool] = sum / float64(len(m.TimesMs))
+	}
+	keys := make([]key, 0, len(cells))
+	for k := range cells {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].platform != keys[j].platform {
+			return keys[i].platform < keys[j].platform
+		}
+		return keys[i].primitive < keys[j].primitive
+	})
+	out := make([]PrimitiveRanking, 0, len(keys))
+	for _, k := range keys {
+		r := PrimitiveRanking{Platform: k.platform, Primitive: k.primitive, MeanMs: cells[k]}
+		for t := range cells[k] {
+			r.Tools = append(r.Tools, t)
+		}
+		sort.SliceStable(r.Tools, func(i, j int) bool {
+			a, b := r.Tools[i], r.Tools[j]
+			if r.MeanMs[a] != r.MeanMs[b] {
+				return r.MeanMs[a] < r.MeanMs[b]
+			}
+			return a < b
+		})
+		out = append(out, r)
+	}
+	return out
+}
+
+// RenderEvaluation formats an Evaluation as a fixed-width text report.
+func RenderEvaluation(ev *Evaluation) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Multi-level tool evaluation — profile %q\n", ev.Profile.Name)
+	fmt.Fprintf(&b, "%-10s", "tool")
+	levels := []Level{TPL, APL, ADL}
+	for _, l := range levels {
+		if _, ok := ev.Levels[l]; ok {
+			fmt.Fprintf(&b, " %8s", string(l))
+		}
+	}
+	fmt.Fprintf(&b, " %8s\n", "overall")
+	for _, t := range ev.Ranking {
+		fmt.Fprintf(&b, "%-10s", t)
+		for _, l := range levels {
+			if scores, ok := ev.Levels[l]; ok {
+				fmt.Fprintf(&b, " %8.3f", scores[t])
+			}
+		}
+		fmt.Fprintf(&b, " %8.3f\n", ev.Overall[t])
+	}
+	if len(ev.Notes) > 0 {
+		b.WriteString("notes:\n")
+		for _, n := range ev.Notes {
+			fmt.Fprintf(&b, "  - %s\n", n)
+		}
+	}
+	return b.String()
+}
+
+// RenderTable4 formats primitive rankings in the layout of the paper's
+// Table 4 (one row per rank position, one column per primitive).
+func RenderTable4(rankings []PrimitiveRanking, platform string) string {
+	var prims []string
+	byPrim := map[string]PrimitiveRanking{}
+	for _, r := range rankings {
+		if r.Platform != platform {
+			continue
+		}
+		prims = append(prims, r.Primitive)
+		byPrim[r.Primitive] = r
+	}
+	if len(prims) == 0 {
+		return fmt.Sprintf("no rankings for platform %s\n", platform)
+	}
+	// Keep the paper's column order where applicable.
+	order := []string{"send/receive", "broadcast", "ring", "global sum"}
+	var cols []string
+	for _, p := range order {
+		if _, ok := byPrim[p]; ok {
+			cols = append(cols, p)
+		}
+	}
+	for _, p := range prims {
+		found := false
+		for _, c := range cols {
+			if c == p {
+				found = true
+				break
+			}
+		}
+		if !found {
+			cols = append(cols, p)
+		}
+	}
+	depth := 0
+	for _, p := range cols {
+		if n := len(byPrim[p].Tools); n > depth {
+			depth = n
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Tool ranking on %s (fastest first)\n", platform)
+	for _, p := range cols {
+		fmt.Fprintf(&b, "%-14s", p)
+	}
+	b.WriteString("\n")
+	for i := 0; i < depth; i++ {
+		for _, p := range cols {
+			cell := ""
+			if i < len(byPrim[p].Tools) {
+				cell = byPrim[p].Tools[i]
+			}
+			fmt.Fprintf(&b, "%-14s", cell)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

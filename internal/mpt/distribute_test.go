@@ -1,0 +1,142 @@
+package mpt_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"tooleval/internal/mpt"
+)
+
+func TestBlockShare(t *testing.T) {
+	for n := 0; n < 40; n++ {
+		for p := 1; p <= 8; p++ {
+			total, prevHi := 0, 0
+			for r := 0; r < p; r++ {
+				lo, hi := mpt.BlockShare(n, p, r)
+				if lo != prevHi {
+					t.Fatalf("n=%d p=%d r=%d: gap at %d..%d", n, p, r, prevHi, lo)
+				}
+				total += hi - lo
+				prevHi = hi
+			}
+			if total != n {
+				t.Fatalf("n=%d p=%d: covered %d", n, p, total)
+			}
+		}
+	}
+}
+
+func TestScatterGatherRoundTrip(t *testing.T) {
+	pf := mustPlatform(t, "alpha-fddi")
+	forEachTool(t, func(t *testing.T, name string, f mpt.Factory) {
+		const n = 4
+		res, err := mpt.Run(pf, f, mpt.RunConfig{Procs: n}, func(c *mpt.Ctx) (any, error) {
+			var blocks [][]byte
+			if c.Rank() == 1 { // non-zero root
+				blocks = make([][]byte, n)
+				for i := range blocks {
+					blocks[i] = []byte(fmt.Sprintf("block-%d", i))
+				}
+			}
+			mine, err := mpt.Scatter(c.Comm, 1, 5, blocks)
+			if err != nil {
+				return nil, err
+			}
+			if want := fmt.Sprintf("block-%d", c.Rank()); string(mine) != want {
+				return nil, fmt.Errorf("rank %d got %q, want %q", c.Rank(), mine, want)
+			}
+			// Transform and gather back at root 1.
+			mine = append(mine, '!')
+			gathered, err := mpt.Gather(c.Comm, 1, 6, mine)
+			if err != nil {
+				return nil, err
+			}
+			if c.Rank() == 1 {
+				for i, b := range gathered {
+					if want := fmt.Sprintf("block-%d!", i); string(b) != want {
+						return nil, fmt.Errorf("gathered[%d] = %q, want %q", i, b, want)
+					}
+				}
+			}
+			return nil, nil
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		_ = res
+	})
+}
+
+func TestAllGather(t *testing.T) {
+	pf := mustPlatform(t, "sun-atm-lan")
+	forEachTool(t, func(t *testing.T, name string, f mpt.Factory) {
+		const n = 4
+		_, err := mpt.Run(pf, f, mpt.RunConfig{Procs: n}, func(c *mpt.Ctx) (any, error) {
+			mine := bytes.Repeat([]byte{byte('A' + c.Rank())}, c.Rank()+1) // varied lengths
+			all, err := mpt.AllGather(c.Comm, 7, mine)
+			if err != nil {
+				return nil, err
+			}
+			for i, b := range all {
+				want := bytes.Repeat([]byte{byte('A' + i)}, i+1)
+				if !bytes.Equal(b, want) {
+					return nil, fmt.Errorf("rank %d: all[%d] = %q, want %q", c.Rank(), i, b, want)
+				}
+			}
+			return nil, nil
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	})
+}
+
+func TestAllToAll(t *testing.T) {
+	pf := mustPlatform(t, "sp1-switch")
+	forEachTool(t, func(t *testing.T, name string, f mpt.Factory) {
+		const n = 4
+		_, err := mpt.Run(pf, f, mpt.RunConfig{Procs: n}, func(c *mpt.Ctx) (any, error) {
+			blocks := make([][]byte, n)
+			for j := range blocks {
+				blocks[j] = []byte(fmt.Sprintf("%d->%d", c.Rank(), j))
+			}
+			got, err := mpt.AllToAll(c.Comm, 8, blocks)
+			if err != nil {
+				return nil, err
+			}
+			for src, b := range got {
+				if want := fmt.Sprintf("%d->%d", src, c.Rank()); string(b) != want {
+					return nil, fmt.Errorf("rank %d: from %d got %q, want %q", c.Rank(), src, b, want)
+				}
+			}
+			return nil, nil
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	})
+}
+
+func TestScatterValidation(t *testing.T) {
+	pf := mustPlatform(t, "alpha-fddi")
+	f := mustFactory(t, "p4")
+	_, err := mpt.Run(pf, f, mpt.RunConfig{Procs: 2}, func(c *mpt.Ctx) (any, error) {
+		if c.Rank() == 0 {
+			if _, err := mpt.Scatter(c.Comm, 0, 1, [][]byte{{1}}); err == nil {
+				return nil, fmt.Errorf("wrong block count should error")
+			}
+			// Unblock rank 1, which is waiting in the valid scatter below.
+			blocks := [][]byte{{1}, {2}}
+			if _, err := mpt.Scatter(c.Comm, 0, 2, blocks); err != nil {
+				return nil, err
+			}
+			return nil, nil
+		}
+		_, err := mpt.Scatter(c.Comm, 0, 2, nil)
+		return nil, err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,60 @@
+package mpt
+
+import (
+	"fmt"
+	"time"
+
+	"tooleval/internal/platform"
+	"tooleval/internal/sim"
+	"tooleval/internal/simnet"
+)
+
+// Env is the execution environment a tool is instantiated over: the
+// engine, the network fabric, the per-station loopback channels, the
+// host CPU model used to convert software path lengths into virtual
+// time, and the per-rank user mailboxes.
+type Env struct {
+	Eng  *sim.Engine
+	Net  simnet.Network
+	Loop simnet.Network
+	Host platform.Host
+	// N is the number of ranks; rank i runs on station i.
+	N int
+	// Boxes[i] is rank i's user-level mailbox.
+	Boxes []*Mailbox
+}
+
+// NewEnv wires up an environment with n ranks.
+func NewEnv(eng *sim.Engine, net, loop simnet.Network, host platform.Host, n int) (*Env, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("mpt: need at least 1 rank, got %d", n)
+	}
+	if net.Stations() < n || loop.Stations() < n {
+		return nil, fmt.Errorf("mpt: network has %d stations, loopback %d, need %d",
+			net.Stations(), loop.Stations(), n)
+	}
+	boxes := make([]*Mailbox, n)
+	for i := range boxes {
+		boxes[i] = NewMailbox(eng)
+	}
+	return &Env{Eng: eng, Net: net, Loop: loop, Host: host, N: n, Boxes: boxes}, nil
+}
+
+// Cost converts an operation count to CPU time on this platform's host.
+func (e *Env) Cost(ops float64) time.Duration { return e.Host.CostOf(ops) }
+
+// DeliverAt schedules msg to appear in box at virtual time at.
+func (e *Env) DeliverAt(at sim.Time, box *Mailbox, msg *Message) {
+	msg.DeliveredAt = at
+	e.Eng.At(at, "deliver", func() { box.Put(msg) })
+}
+
+// CloneData copies a payload at an ownership boundary.
+func CloneData(data []byte) []byte {
+	if len(data) == 0 {
+		return nil
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out
+}

@@ -1,0 +1,114 @@
+package express
+
+import (
+	"testing"
+
+	"tooleval/internal/mpt"
+	"tooleval/internal/platform"
+	"tooleval/internal/sim"
+)
+
+func newTestEnv(t *testing.T, n int) *mpt.Env {
+	t.Helper()
+	pf, err := platform.Get("sun-ethernet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine()
+	env, err := mpt.NewEnv(eng, pf.NewNetwork(n), pf.NewLoopback(n), pf.Host, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestParamValidation(t *testing.T) {
+	env := newTestEnv(t, 2)
+	bad := DefaultParams()
+	bad.PacketBytes = 0
+	if _, err := NewWithParams(env, bad); err == nil {
+		t.Fatal("zero PacketBytes should be rejected")
+	}
+	bad = DefaultParams()
+	bad.Window = 0
+	if _, err := NewWithParams(env, bad); err == nil {
+		t.Fatal("zero Window should be rejected")
+	}
+}
+
+func oneWay(t *testing.T, par Params, size int) (sim.Time, mpt.Stats) {
+	t.Helper()
+	env := newTestEnv(t, 2)
+	tool, err := NewWithParams(env, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var done sim.Time
+	env.Eng.Spawn("r0", func(p *sim.Proc) {
+		c := tool.NewComm(p, 0)
+		if err := c.Send(1, 1, make([]byte, size)); err != nil {
+			t.Errorf("send: %v", err)
+		}
+	})
+	env.Eng.Spawn("r1", func(p *sim.Proc) {
+		c := tool.NewComm(p, 1)
+		if _, err := c.Recv(0, 1); err != nil {
+			t.Errorf("recv: %v", err)
+		}
+		done = p.Now()
+	})
+	if err := env.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return done, tool.Stats()
+}
+
+func TestAckPerPacket(t *testing.T) {
+	par := DefaultParams()
+	_, st := oneWay(t, par, 10*par.PacketBytes)
+	if st.Acks != 10 {
+		t.Fatalf("Acks = %d, want 10 (one per packet)", st.Acks)
+	}
+}
+
+func TestLargerPacketsFasterBulk(t *testing.T) {
+	small := DefaultParams()
+	small.PacketBytes = 512
+	big := DefaultParams()
+	big.PacketBytes = 8192
+	tSmall, _ := oneWay(t, small, 64<<10)
+	tBig, _ := oneWay(t, big, 64<<10)
+	if tBig >= tSmall {
+		t.Fatalf("8KB packets (%v) should beat 512B packets (%v) for 64KB", tBig, tSmall)
+	}
+}
+
+func TestWindowingHelps(t *testing.T) {
+	stopAndWait := DefaultParams()
+	windowed := DefaultParams()
+	windowed.Window = 8
+	t1, _ := oneWay(t, stopAndWait, 32<<10)
+	t8, _ := oneWay(t, windowed, 32<<10)
+	if t8 >= t1 {
+		t.Fatalf("window 8 (%v) should beat stop-and-wait (%v)", t8, t1)
+	}
+}
+
+func TestRendezvousAddsLatency(t *testing.T) {
+	with := DefaultParams()
+	without := DefaultParams()
+	without.Rendezvous = false
+	tWith, _ := oneWay(t, with, 0)
+	tWithout, _ := oneWay(t, without, 0)
+	if tWith <= tWithout {
+		t.Fatalf("rendezvous (%v) should cost more than none (%v)", tWith, tWithout)
+	}
+}
+
+func TestZeroByteStillOnePacket(t *testing.T) {
+	par := DefaultParams()
+	_, st := oneWay(t, par, 0)
+	if st.Acks != 1 {
+		t.Fatalf("zero-byte message should cost one packet/ack, got %d", st.Acks)
+	}
+}

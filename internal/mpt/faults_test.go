@@ -1,0 +1,162 @@
+package mpt_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"tooleval/internal/mpt"
+	"tooleval/internal/platform"
+	"tooleval/internal/sim"
+	"tooleval/internal/simnet"
+)
+
+// The paper's exception-handling criterion (§2.1.4): "network hardware
+// and software failures must be reported to the user's application". All
+// three 1995 tools score PS at best; these tests pin down the behaviour
+// the simulation reproduces:
+//
+//   - p4 and Express surface the failure as an error from the send call
+//     (synchronous transports);
+//   - PVM's asynchronous daemon route accepts the message, retries in the
+//     background, gives up silently — and the application hangs in recv,
+//     which the engine reports as a deadlock with diagnostics.
+
+func pingBody(payload []byte) mpt.Body {
+	return func(c *mpt.Ctx) (any, error) {
+		const tag = 1
+		if c.Rank() == 0 {
+			// Let the fault plan's trigger time pass.
+			c.ChargeDuration(10 * time.Millisecond)
+			if err := c.Comm.Send(1, tag, payload); err != nil {
+				return nil, err
+			}
+			return nil, nil
+		}
+		msg, err := c.Comm.Recv(0, tag)
+		if err != nil {
+			return nil, err
+		}
+		_ = msg
+		return nil, nil
+	}
+}
+
+func TestP4SurfacesLinkFailure(t *testing.T) {
+	pf, err := platform.Get("sun-ethernet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := mustFactory(t, "p4")
+	cfg := mpt.RunConfig{Procs: 2, Faults: simnet.LinkDownAfter(sim.Time(5 * time.Millisecond))}
+	_, err = mpt.Run(pf, f, cfg, pingBody(make([]byte, 1024)))
+	if err == nil {
+		t.Fatal("p4 should report the failure")
+	}
+	if !errors.Is(err, simnet.ErrLinkDown) {
+		t.Fatalf("err = %v, want ErrLinkDown in the chain", err)
+	}
+}
+
+func TestExpressSurfacesLinkFailure(t *testing.T) {
+	pf, err := platform.Get("sun-ethernet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := mustFactory(t, "express")
+	cfg := mpt.RunConfig{Procs: 2, Faults: simnet.LinkDownAfter(sim.Time(5 * time.Millisecond))}
+	_, err = mpt.Run(pf, f, cfg, pingBody(make([]byte, 1024)))
+	if err == nil {
+		t.Fatal("express should report the failure")
+	}
+	if !errors.Is(err, simnet.ErrLinkDown) {
+		t.Fatalf("err = %v, want ErrLinkDown in the chain", err)
+	}
+}
+
+func TestPVMHangsOnLinkFailure(t *testing.T) {
+	// PVM's pvm_send is asynchronous: the local daemon takes the message,
+	// retries towards the dead link, and eventually drops it. The sender
+	// never learns; the receiver waits forever. The engine converts that
+	// into a deadlock diagnosis naming the stuck process — exactly the
+	// debugging experience the paper's ADL assessment complains about.
+	pf, err := platform.Get("sun-ethernet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := mustFactory(t, "pvm")
+	cfg := mpt.RunConfig{Procs: 2, Faults: simnet.LinkDownAfter(sim.Time(5 * time.Millisecond))}
+	_, err = mpt.Run(pf, f, cfg, pingBody(make([]byte, 1024)))
+	var dl *sim.DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("err = %v, want DeadlockError (PVM hangs silently)", err)
+	}
+	found := false
+	for _, b := range dl.Blocked {
+		if b == "rank1 (recv src=0 tag=1)" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("deadlock diagnostics %v should name the blocked receiver", dl.Blocked)
+	}
+}
+
+func TestStationDownOnlyAffectsItsPaths(t *testing.T) {
+	pf, err := platform.Get("sun-atm-lan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := mustFactory(t, "p4")
+	cfg := mpt.RunConfig{Procs: 4, Faults: simnet.StationDown(3)}
+	res, err := mpt.Run(pf, f, cfg, func(c *mpt.Ctx) (any, error) {
+		const tag = 2
+		// Ranks 0..2 exchange among themselves; rank 3 stays silent.
+		if c.Rank() == 3 {
+			return nil, nil
+		}
+		next := (c.Rank() + 1) % 3
+		prev := (c.Rank() + 2) % 3
+		if err := c.Comm.Send(next, tag, []byte("ok")); err != nil {
+			return nil, err
+		}
+		_, err := c.Comm.Recv(prev, tag)
+		return nil, err
+	})
+	if err != nil {
+		t.Fatalf("healthy stations should communicate: %v", err)
+	}
+	_ = res
+}
+
+func TestRecoveryAfterTransientFault(t *testing.T) {
+	// A fault window that ends: PVM's retransmission protocol should
+	// deliver once the link returns (within the retry budget).
+	pf, err := platform.Get("sun-atm-lan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := mustFactory(t, "pvm")
+	window := func(now sim.Time, src, dst int) bool {
+		t0 := sim.Time(2 * time.Millisecond)
+		t1 := sim.Time(15 * time.Millisecond)
+		return now >= t0 && now < t1
+	}
+	cfg := mpt.RunConfig{Procs: 2, Faults: window}
+	res, err := mpt.Run(pf, f, cfg, func(c *mpt.Ctx) (any, error) {
+		const tag = 3
+		if c.Rank() == 0 {
+			c.ChargeDuration(3 * time.Millisecond) // send inside the outage
+			return nil, c.Comm.Send(1, tag, []byte("retry me"))
+		}
+		msg, err := c.Comm.Recv(0, tag)
+		if err != nil {
+			return nil, err
+		}
+		return string(msg.Data), nil
+	})
+	if err != nil {
+		t.Fatalf("message should survive a transient outage via retransmission: %v", err)
+	}
+	_ = res
+}

@@ -1,0 +1,140 @@
+package mpt
+
+import (
+	"time"
+
+	"tooleval/internal/sim"
+)
+
+// Mailbox is a per-task (or per-daemon) message queue with selective
+// receive: a receiver can wait for a specific (src, tag) combination
+// while other messages queue up behind. Matching is FIFO within the set
+// of messages that satisfy the pattern, mirroring the tools' semantics.
+//
+// All methods must be called from engine context; the engine's
+// one-runnable-at-a-time discipline supplies mutual exclusion.
+type Mailbox struct {
+	eng     *sim.Engine
+	msgs    []*Message
+	waiters []*mboxWaiter
+}
+
+type mboxWaiter struct {
+	src, tag int
+	p        *sim.Proc
+	got      *Message
+	done     bool // matched or timed out
+}
+
+// NewMailbox creates an empty mailbox bound to the engine.
+func NewMailbox(eng *sim.Engine) *Mailbox {
+	return &Mailbox{eng: eng}
+}
+
+// Len reports queued (undelivered-to-receiver) messages.
+func (m *Mailbox) Len() int { return len(m.msgs) }
+
+func matches(wantSrc, wantTag int, msg *Message) bool {
+	if wantSrc != AnySource && wantSrc != msg.Src {
+		return false
+	}
+	if wantTag != AnyTag && wantTag != msg.Tag {
+		return false
+	}
+	return true
+}
+
+// Put delivers msg to the mailbox, waking the longest-waiting matching
+// receiver if there is one. It must be called from engine context (an
+// event handler or a running process).
+func (m *Mailbox) Put(msg *Message) {
+	for _, w := range m.waiters {
+		if !w.done && matches(w.src, w.tag, msg) {
+			w.got = msg
+			w.done = true
+			m.eng.Unpark(w.p)
+			m.compactWaiters()
+			return
+		}
+	}
+	m.msgs = append(m.msgs, msg)
+}
+
+// Get blocks the calling process until a message matching (src, tag) is
+// available and returns it.
+func (m *Mailbox) Get(p *sim.Proc, src, tag int) *Message {
+	msg, _ := m.GetDeadline(p, src, tag, -1)
+	return msg
+}
+
+// GetDeadline is Get with a timeout. A negative timeout waits forever. It
+// returns (nil, false) if the timeout expired first; the boolean reports
+// whether a message was received.
+func (m *Mailbox) GetDeadline(p *sim.Proc, src, tag int, timeout time.Duration) (*Message, bool) {
+	for i, msg := range m.msgs {
+		if matches(src, tag, msg) {
+			copy(m.msgs[i:], m.msgs[i+1:])
+			m.msgs[len(m.msgs)-1] = nil
+			m.msgs = m.msgs[:len(m.msgs)-1]
+			return msg, true
+		}
+	}
+	w := &mboxWaiter{src: src, tag: tag, p: p}
+	m.waiters = append(m.waiters, w)
+	if timeout >= 0 {
+		m.eng.After(timeout, "mbox-timeout", func() {
+			if !w.done {
+				w.done = true
+				m.compactWaiters()
+				m.eng.Unpark(p)
+			}
+		})
+	}
+	p.Park("recv src=" + itoa(src) + " tag=" + itoa(tag))
+	return w.got, w.got != nil
+}
+
+func (m *Mailbox) compactWaiters() {
+	keep := m.waiters[:0]
+	for _, w := range m.waiters {
+		if !w.done {
+			keep = append(keep, w)
+		}
+	}
+	for i := len(keep); i < len(m.waiters); i++ {
+		m.waiters[i] = nil
+	}
+	m.waiters = keep
+}
+
+// itoa is a tiny strconv.Itoa for the two wildcard-friendly values we
+// format in park reasons (avoids fmt on the hot path).
+func itoa(v int) string {
+	switch v {
+	case AnySource:
+		return "any"
+	}
+	if v >= 0 && v < 10 {
+		return string(rune('0' + v))
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [24]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if i == len(buf) {
+		i--
+		buf[i] = '0'
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,109 @@
+// Package mpt defines the common framework for the message-passing tools
+// the paper evaluates (Express, p4, PVM): the Comm programming interface
+// their primitives are exposed through, per-task mailboxes with selective
+// receive, reusable collective algorithms, and the harness that runs an
+// SPMD program over a simulated platform.
+//
+// Each tool lives in its own subpackage and implements the primitives
+// with the mechanisms the 1995 systems actually used — direct streams
+// for p4, daemon routing with XDR encoding for PVM, rendezvous plus
+// fixed-size packetization for Express. The paper's Tool Performance
+// Level results emerge from those mechanisms rather than from per-curve
+// constants.
+package mpt
+
+import (
+	"errors"
+	"fmt"
+
+	"tooleval/internal/sim"
+)
+
+// Wildcards for Recv matching, mirroring the tools' "any" receive modes.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// Internal tag space used by collective implementations. User code must
+// use tags >= 0.
+const (
+	TagBarrier   = -2
+	TagBcast     = -3
+	TagReduce    = -4
+	TagGatherOp  = -5
+	TagScatterOp = -6
+)
+
+// ErrNotSupported reports that a tool does not provide the requested
+// primitive (the paper's "Not Available": PVM has no global reduction).
+var ErrNotSupported = errors.New("mpt: primitive not supported by this tool")
+
+// Message is a delivered user-level message.
+type Message struct {
+	// Src is the sending rank and Tag the user tag.
+	Src, Tag int
+	// Data is the payload. The receiver owns it.
+	Data []byte
+	// SentAt is when the sending task issued the send; DeliveredAt is
+	// when the message became visible to the receiving task.
+	SentAt, DeliveredAt sim.Time
+}
+
+// Comm is the per-rank endpoint of a message-passing tool, the common
+// surface of the primitives compared in Table 1 of the paper:
+// send/receive, broadcast/multicast, and global summation. All methods
+// must be called from the rank's own simulated process.
+type Comm interface {
+	// Rank is this task's id in 0..Size-1; Size is the number of tasks.
+	Rank() int
+	Size() int
+	// Send transmits data to rank dst with the given tag. Buffering
+	// semantics (whether Send blocks until the data is on the wire) are
+	// tool-specific; data is always safe to reuse on return.
+	Send(dst, tag int, data []byte) error
+	// Recv blocks until a message matching (src, tag) is available.
+	// AnySource / AnyTag act as wildcards.
+	Recv(src, tag int) (*Message, error)
+	// Bcast is a collective broadcast: every rank calls it, the root's
+	// data is returned on all ranks.
+	Bcast(root, tag int, data []byte) ([]byte, error)
+	// GlobalSumInt64 is a collective reduction: every rank contributes a
+	// vector and all ranks receive the element-wise sum. Tools without a
+	// global operation return ErrNotSupported (PVM, per the paper).
+	GlobalSumInt64(vec []int64) ([]int64, error)
+	// GlobalSumFloat64 is the float64 variant of GlobalSumInt64.
+	GlobalSumFloat64(vec []float64) ([]float64, error)
+	// Barrier blocks until all ranks have entered it.
+	Barrier() error
+}
+
+// Tool builds per-rank Comm endpoints over an Env. Implementations spawn
+// any helper daemons at construction time.
+type Tool interface {
+	// Name is the tool's identifier: "p4", "pvm" or "express".
+	Name() string
+	// NewComm binds rank running on process p to the tool.
+	NewComm(p *sim.Proc, rank int) Comm
+}
+
+// Factory constructs a tool over a prepared environment.
+type Factory func(*Env) (Tool, error)
+
+// Stats aggregates tool-internal accounting exposed for the benchmark
+// harness and ablation studies.
+type Stats struct {
+	Sends       int64
+	Recvs       int64
+	BytesSent   int64
+	Retransmits int64 // daemon-protocol retransmissions (PVM)
+	Acks        int64 // protocol-level acknowledgements (Express, PVM)
+	DroppedMsgs int64 // messages abandoned after repeated failures
+}
+
+func validRank(n, r int) error {
+	if r < 0 || r >= n {
+		return fmt.Errorf("mpt: rank %d out of range [0,%d)", r, n)
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package p4
+
+import (
+	"testing"
+
+	"tooleval/internal/mpt"
+	"tooleval/internal/platform"
+	"tooleval/internal/sim"
+)
+
+func newTestEnv(t *testing.T, n int) *mpt.Env {
+	t.Helper()
+	pf, err := platform.Get("alpha-fddi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine()
+	env, err := mpt.NewEnv(eng, pf.NewNetwork(n), pf.NewLoopback(n), pf.Host, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestParamValidation(t *testing.T) {
+	env := newTestEnv(t, 2)
+	bad := DefaultParams()
+	bad.ChunkBytes = 0
+	if _, err := NewWithParams(env, bad); err == nil {
+		t.Fatal("zero ChunkBytes should be rejected")
+	}
+}
+
+func TestSendIsAsync(t *testing.T) {
+	// p4_send returns after the local software path; the wire time of a
+	// large message must NOT be on the sender's clock.
+	env := newTestEnv(t, 2)
+	tool, err := NewWithParams(env, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sendReturned, recvDone sim.Time
+	env.Eng.Spawn("r0", func(p *sim.Proc) {
+		c := tool.NewComm(p, 0)
+		if err := c.Send(1, 1, make([]byte, 256<<10)); err != nil {
+			t.Errorf("send: %v", err)
+		}
+		sendReturned = p.Now()
+	})
+	env.Eng.Spawn("r1", func(p *sim.Proc) {
+		c := tool.NewComm(p, 1)
+		if _, err := c.Recv(0, 1); err != nil {
+			t.Errorf("recv: %v", err)
+		}
+		recvDone = p.Now()
+	})
+	if err := env.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sendReturned >= recvDone {
+		t.Fatalf("send returned at %v, after delivery at %v — not asynchronous", sendReturned, recvDone)
+	}
+}
+
+func TestFasterHostsShrinkSoftwareCost(t *testing.T) {
+	rtt := func(pfKey string) sim.Time {
+		pf, err := platform.Get(pfKey)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := sim.NewEngine()
+		env, err := mpt.NewEnv(eng, pf.NewNetwork(2), pf.NewLoopback(2), pf.Host, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tool, err := NewWithParams(env, DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rtt sim.Time
+		eng.Spawn("r0", func(p *sim.Proc) {
+			c := tool.NewComm(p, 0)
+			t0 := p.Now()
+			if err := c.Send(1, 1, nil); err != nil {
+				t.Errorf("send: %v", err)
+			}
+			if _, err := c.Recv(1, 1); err != nil {
+				t.Errorf("recv: %v", err)
+			}
+			rtt = p.Now() - t0
+		})
+		eng.Spawn("r1", func(p *sim.Proc) {
+			c := tool.NewComm(p, 1)
+			msg, err := c.Recv(0, 1)
+			if err != nil {
+				t.Errorf("recv: %v", err)
+				return
+			}
+			if err := c.Send(0, 1, msg.Data); err != nil {
+				t.Errorf("send: %v", err)
+			}
+		})
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return rtt
+	}
+	// Same tool constants: the 150 MHz Alpha must beat the 33 MHz ELC at
+	// 0 bytes (pure software path).
+	if alpha, elc := rtt("alpha-fddi"), rtt("sun-ethernet"); alpha >= elc {
+		t.Fatalf("alpha RTT %v should beat ELC RTT %v", alpha, elc)
+	}
+}
+
+func TestChunkingCountsWireChunks(t *testing.T) {
+	env := newTestEnv(t, 2)
+	par := DefaultParams()
+	tool, err := NewWithParams(env, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Eng.Spawn("r0", func(p *sim.Proc) {
+		c := tool.NewComm(p, 0)
+		if err := c.Send(1, 1, make([]byte, 3*par.ChunkBytes+1)); err != nil {
+			t.Errorf("send: %v", err)
+		}
+	})
+	env.Eng.Spawn("r1", func(p *sim.Proc) {
+		c := tool.NewComm(p, 1)
+		if _, err := c.Recv(0, 1); err != nil {
+			t.Errorf("recv: %v", err)
+		}
+	})
+	if err := env.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := env.Net.Stats().Chunks; got != 4 {
+		t.Fatalf("wire chunks = %d, want 4", got)
+	}
+	st := tool.Stats()
+	if st.Sends != 1 || st.BytesSent != int64(3*par.ChunkBytes+1) {
+		t.Fatalf("stats = %+v", st)
+	}
+}

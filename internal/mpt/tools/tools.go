@@ -1,0 +1,57 @@
+// Package tools is the registry of the message-passing tools the paper
+// evaluates, keyed by the names used throughout the benchmark harness
+// and reports.
+package tools
+
+import (
+	"fmt"
+
+	"tooleval/internal/mpt"
+	"tooleval/internal/mpt/express"
+	"tooleval/internal/mpt/p4"
+	"tooleval/internal/mpt/pvm"
+)
+
+// Names lists the registered tools in the paper's comparison order.
+func Names() []string { return []string{"p4", "pvm", "express"} }
+
+// Factory returns the constructor for the named tool.
+func Factory(name string) (mpt.Factory, error) {
+	switch name {
+	case "p4":
+		return p4.New, nil
+	case "pvm":
+		return pvm.New, nil
+	case "express":
+		return express.New, nil
+	default:
+		return nil, fmt.Errorf("tools: unknown tool %q (known: %v)", name, Names())
+	}
+}
+
+// PrimitiveNames maps each benchmark primitive to the library calls the
+// tools expose it through — Table 1 of the paper.
+func PrimitiveNames() map[string]map[string]string {
+	return map[string]map[string]string{
+		"send/receive": {
+			"express": "exsend/exreceive",
+			"p4":      "p4_send/p4_recv",
+			"pvm":     "pvm_send/pvm_recv",
+		},
+		"broadcast": {
+			"express": "exbroadcast",
+			"p4":      "p4_broadcast",
+			"pvm":     "pvm_mcast",
+		},
+		"ring": {
+			"express": "exsend/exreceive",
+			"p4":      "p4_send/p4_recv",
+			"pvm":     "pvm_send/pvm_recv",
+		},
+		"global sum": {
+			"express": "excombine",
+			"p4":      "p4_global_op",
+			"pvm":     "Not Available",
+		},
+	}
+}

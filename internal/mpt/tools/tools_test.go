@@ -1,0 +1,74 @@
+package tools
+
+import (
+	"testing"
+
+	"tooleval/internal/mpt"
+	"tooleval/internal/platform"
+	"tooleval/internal/sim"
+)
+
+func TestNamesStable(t *testing.T) {
+	names := Names()
+	want := []string{"p4", "pvm", "express"}
+	if len(names) != 3 {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestFactoryBuildsEveryTool(t *testing.T) {
+	pf, err := platform.Get("sun-ethernet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range Names() {
+		f, err := Factory(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := sim.NewEngine()
+		env, err := mpt.NewEnv(eng, pf.NewNetwork(2), pf.NewLoopback(2), pf.Host, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tool, err := f(env)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if tool.Name() != name {
+			t.Fatalf("tool.Name() = %q, want %q", tool.Name(), name)
+		}
+		if err := eng.Run(); err != nil {
+			t.Fatalf("%s: engine: %v", name, err)
+		}
+	}
+}
+
+func TestFactoryUnknown(t *testing.T) {
+	if _, err := Factory("mpi"); err == nil {
+		t.Fatal("unknown tool should error")
+	}
+}
+
+func TestPrimitiveNamesTable1(t *testing.T) {
+	m := PrimitiveNames()
+	if m["global sum"]["pvm"] != "Not Available" {
+		t.Fatalf("PVM global sum = %q, Table 1 says Not Available", m["global sum"]["pvm"])
+	}
+	if m["send/receive"]["express"] != "exsend/exreceive" {
+		t.Fatalf("express send/receive = %q", m["send/receive"]["express"])
+	}
+	if m["broadcast"]["p4"] != "p4_broadcast" {
+		t.Fatalf("p4 broadcast = %q", m["broadcast"]["p4"])
+	}
+	for _, prim := range []string{"send/receive", "broadcast", "ring", "global sum"} {
+		if len(m[prim]) != 3 {
+			t.Fatalf("primitive %q missing tools: %v", prim, m[prim])
+		}
+	}
+}

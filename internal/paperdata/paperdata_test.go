@@ -1,0 +1,99 @@
+package paperdata
+
+import "testing"
+
+func TestTable3Shape(t *testing.T) {
+	for tool, nets := range Table3 {
+		for net, times := range nets {
+			if len(times) != len(Table3SizesKB) {
+				t.Fatalf("%s/%s has %d entries, want %d", tool, net, len(times), len(Table3SizesKB))
+			}
+			for i := 1; i < len(times); i++ {
+				if times[i] < times[i-1] {
+					// The paper's own data is monotone per curve.
+					t.Fatalf("%s/%s: paper data decreases at index %d", tool, net, i)
+				}
+			}
+		}
+	}
+	if _, ok := Table3["express"]["atm-wan"]; ok {
+		t.Fatal("Express has no NYNET column in Table 3")
+	}
+}
+
+func TestTable3EncodesPaperOrderings(t *testing.T) {
+	// p4 fastest at every size on every network it shares with others.
+	for _, net := range []string{"ethernet", "atm-lan"} {
+		for i := range Table3SizesKB {
+			p4 := Table3["p4"][net][i]
+			if Table3["pvm"][net][i] <= p4 {
+				t.Fatalf("%s@%dKB: paper says p4 < pvm", net, Table3SizesKB[i])
+			}
+			if Table3["express"][net][i] <= p4 {
+				t.Fatalf("%s@%dKB: paper says p4 < express", net, Table3SizesKB[i])
+			}
+		}
+	}
+	// The Express/PVM crossover: Express ahead at 0KB on ATM, behind at 64KB.
+	if !(Table3["express"]["atm-lan"][0] < Table3["pvm"]["atm-lan"][0]) {
+		t.Fatal("paper: Express beats PVM at small sizes on ATM")
+	}
+	if !(Table3["express"]["atm-lan"][7] > Table3["pvm"]["atm-lan"][7]) {
+		t.Fatal("paper: PVM beats Express at 64KB on ATM")
+	}
+}
+
+func TestTable4RingInversion(t *testing.T) {
+	ring := Table4["sun-ethernet"]["ring"]
+	if len(ring) != 3 || ring[0] != "p4" || ring[1] != "express" || ring[2] != "pvm" {
+		t.Fatalf("Table 4 ring column = %v, want [p4 express pvm]", ring)
+	}
+	gs := Table4["sun-ethernet"]["global sum"]
+	if len(gs) != 2 {
+		t.Fatalf("global sum must have 2 entries (PVM n/a): %v", gs)
+	}
+}
+
+func TestADLMatrixComplete(t *testing.T) {
+	for _, criterion := range ADLCriteria {
+		row, ok := ADLMatrix[criterion]
+		if !ok {
+			t.Fatalf("criterion %q missing from matrix", criterion)
+		}
+		for _, tool := range []string{"p4", "pvm", "express"} {
+			if _, ok := row[tool]; !ok {
+				t.Fatalf("%s has no rating for %s", criterion, tool)
+			}
+		}
+	}
+}
+
+func TestSuiteTable2HasAllClasses(t *testing.T) {
+	if len(SuiteTable2) != 4 {
+		t.Fatalf("Table 2 has %d classes, want 4", len(SuiteTable2))
+	}
+	total := 0
+	for _, apps := range SuiteTable2 {
+		total += len(apps)
+	}
+	if total != 18 {
+		t.Fatalf("Table 2 lists %d applications, want 18", total)
+	}
+}
+
+func TestAPLPlatformsConsistent(t *testing.T) {
+	if len(APLPlatforms) != 4 {
+		t.Fatalf("APL covers %d figures, want 4 (Figs 5-8)", len(APLPlatforms))
+	}
+	for _, spec := range APLPlatforms {
+		anchors, ok := APLSingleProcSeconds[spec.Figure]
+		if !ok {
+			t.Fatalf("%s has no single-proc anchors", spec.Figure)
+		}
+		for _, app := range APLApps {
+			if anchors[app] <= 0 {
+				t.Fatalf("%s/%s anchor missing", spec.Figure, app)
+			}
+		}
+	}
+}

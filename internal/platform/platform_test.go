@@ -1,0 +1,89 @@
+package platform
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCatalogComplete(t *testing.T) {
+	want := []string{"sun-ethernet", "sun-atm-lan", "sun-atm-wan", "alpha-fddi", "sp1-switch", "sp1-ethernet"}
+	got := Keys()
+	if len(got) != len(want) {
+		t.Fatalf("Keys() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Keys()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("cray-t3d"); err == nil {
+		t.Fatal("Get of unknown platform should error")
+	}
+}
+
+func TestExpressNotOnNYNET(t *testing.T) {
+	p, err := Get("sun-atm-wan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Supports("express") {
+		t.Fatal("Express had no NYNET port in the paper (Figs 2-4, 7)")
+	}
+	if !p.Supports("p4") || !p.Supports("pvm") {
+		t.Fatal("p4 and PVM must be supported on NYNET")
+	}
+	if p.MaxProcs != 4 {
+		t.Fatalf("NYNET MaxProcs = %d, want 4 (Fig 7 sweeps 1-4)", p.MaxProcs)
+	}
+}
+
+func TestHostSpeedOrdering(t *testing.T) {
+	// The paper: Alpha cluster fastest, SP-1 nodes slower than Alpha,
+	// SPARCstations slowest; IPX (40MHz) faster than ELC (33MHz).
+	if !(AlphaWS.OpsPerSec > RS6000.OpsPerSec) {
+		t.Fatal("Alpha must out-run RS/6000")
+	}
+	if !(RS6000.OpsPerSec > SunIPX.OpsPerSec) {
+		t.Fatal("RS/6000 must out-run SPARCstation IPX")
+	}
+	if !(SunIPX.OpsPerSec > SunELC.OpsPerSec) {
+		t.Fatal("IPX must out-run ELC")
+	}
+}
+
+func TestCostOf(t *testing.T) {
+	h := Host{OpsPerSec: 1e6}
+	if got := h.CostOf(1e6); got != time.Second {
+		t.Fatalf("CostOf(1e6 ops at 1e6 ops/s) = %v, want 1s", got)
+	}
+	if got := h.CostOf(0); got != 0 {
+		t.Fatalf("CostOf(0) = %v, want 0", got)
+	}
+	if got := h.CostOf(-5); got != 0 {
+		t.Fatalf("CostOf(-5) = %v, want 0", got)
+	}
+}
+
+func TestNetworksConstructible(t *testing.T) {
+	for _, p := range All() {
+		n := p.NewNetwork(4)
+		if n.Stations() != 4 {
+			t.Fatalf("%s: Stations = %d, want 4", p.Key, n.Stations())
+		}
+		lb := p.NewLoopback(4)
+		if lb.Stations() != 4 {
+			t.Fatalf("%s: loopback Stations = %d, want 4", p.Key, lb.Stations())
+		}
+	}
+}
+
+func TestAllReturnsCopy(t *testing.T) {
+	a := All()
+	a[0].Key = "mutated"
+	if All()[0].Key == "mutated" {
+		t.Fatal("All() must return a copy of the catalog")
+	}
+}

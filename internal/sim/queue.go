@@ -1,0 +1,56 @@
+package sim
+
+// eventHeap is a binary min-heap of events ordered by (time, sequence).
+// It is hand-rolled rather than using container/heap to avoid the
+// interface boxing overhead on the simulation hot path.
+type eventHeap struct {
+	es []*event
+}
+
+func (h *eventHeap) Len() int { return len(h.es) }
+
+func (h *eventHeap) less(i, j int) bool {
+	a, b := h.es[i], h.es[j]
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.seq < b.seq
+}
+
+func (h *eventHeap) push(ev *event) {
+	h.es = append(h.es, ev)
+	i := len(h.es) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.es[i], h.es[parent] = h.es[parent], h.es[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() *event {
+	top := h.es[0]
+	last := len(h.es) - 1
+	h.es[0] = h.es[last]
+	h.es[last] = nil
+	h.es = h.es[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.es) && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(h.es) && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.es[i], h.es[smallest] = h.es[smallest], h.es[i]
+		i = smallest
+	}
+	return top
+}

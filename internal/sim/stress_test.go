@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestStressManyProcesses runs hundreds of interleaving processes to
+// validate the one-runnable-at-a-time scheduler at scale.
+func TestStressManyProcesses(t *testing.T) {
+	const nProcs = 400
+	e := NewEngine()
+	rng := rand.New(rand.NewSource(99))
+	var total int64
+	for i := 0; i < nProcs; i++ {
+		sleeps := make([]time.Duration, 20)
+		for k := range sleeps {
+			sleeps[k] = time.Duration(rng.Intn(10000)) * time.Microsecond
+		}
+		e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			for _, d := range sleeps {
+				p.Sleep(d)
+				total++
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if total != nProcs*20 {
+		t.Fatalf("total = %d, want %d", total, nProcs*20)
+	}
+}
+
+// TestStressProducerConsumerChains wires processes into chains passing
+// wakeups down the line; the last process must observe all rounds.
+func TestStressProducerConsumerChains(t *testing.T) {
+	const (
+		chainLen = 50
+		rounds   = 30
+	)
+	e := NewEngine()
+	queues := make([]*WaitQ, chainLen+1)
+	counts := make([]int, chainLen+1)
+	for i := range queues {
+		queues[i] = &WaitQ{}
+	}
+	for i := 0; i < chainLen; i++ {
+		i := i
+		e.Spawn(fmt.Sprintf("link%d", i), func(p *Proc) {
+			for r := 0; r < rounds; r++ {
+				queues[i].Wait(p, "chain")
+				counts[i]++
+				p.Sleep(time.Microsecond)
+				queues[i+1].WakeAll()
+			}
+		})
+	}
+	var sink int
+	e.Spawn("sink", func(p *Proc) {
+		for r := 0; r < rounds; r++ {
+			queues[chainLen].Wait(p, "sink")
+			sink++
+		}
+	})
+	e.Spawn("driver", func(p *Proc) {
+		for r := 0; r < rounds; r++ {
+			p.Sleep(time.Millisecond)
+			queues[0].WakeAll()
+			// Give the chain time to drain before the next pulse.
+			p.Sleep(time.Millisecond)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sink != rounds {
+		t.Fatalf("sink saw %d rounds, want %d", sink, rounds)
+	}
+	for i, c := range counts[:chainLen] {
+		if c != rounds {
+			t.Fatalf("link %d fired %d times, want %d", i, c, rounds)
+		}
+	}
+}
+
+// TestStressEventFlood schedules a large batch of bare events and checks
+// monotonic execution.
+func TestStressEventFlood(t *testing.T) {
+	e := NewEngine()
+	rng := rand.New(rand.NewSource(7))
+	const n = 100_000
+	var last Time
+	fired := 0
+	for i := 0; i < n; i++ {
+		at := Time(rng.Intn(1_000_000)) * Time(time.Microsecond)
+		e.At(at, "flood", func() {
+			if e.Now() < last {
+				t.Error("time ran backwards")
+			}
+			last = e.Now()
+			fired++
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != n {
+		t.Fatalf("fired %d, want %d", fired, n)
+	}
+}

@@ -1,0 +1,64 @@
+package simnet
+
+import (
+	"tooleval/internal/sim"
+)
+
+// FaultPlan decides, per transmission attempt, whether the path from src
+// to dst is down at virtual time now. It enables the exception-handling
+// experiments (TPL criterion 4 in §2.1): the methodology evaluates how
+// each tool reacts when the network hardware reports failures.
+type FaultPlan func(now sim.Time, src, dst int) bool
+
+// Faulty wraps a Network with fault injection. A transmission attempted
+// while the plan reports the path down fails with ErrLinkDown and is
+// counted in Stats.Failures.
+type Faulty struct {
+	inner Network
+	plan  FaultPlan
+	extra Stats
+}
+
+var _ Network = (*Faulty)(nil)
+
+// NewFaulty wraps inner with the given fault plan.
+func NewFaulty(inner Network, plan FaultPlan) *Faulty {
+	return &Faulty{inner: inner, plan: plan}
+}
+
+// LinkDownAfter returns a plan that fails every path once the virtual
+// clock passes t.
+func LinkDownAfter(t sim.Time) FaultPlan {
+	return func(now sim.Time, src, dst int) bool { return now >= t }
+}
+
+// StationDown returns a plan that fails every path touching the given
+// station.
+func StationDown(station int) FaultPlan {
+	return func(now sim.Time, src, dst int) bool { return src == station || dst == station }
+}
+
+// Name implements Network.
+func (f *Faulty) Name() string { return f.inner.Name() + "+faults" }
+
+// Stations implements Network.
+func (f *Faulty) Stations() int { return f.inner.Stations() }
+
+// ChunkSize implements Network.
+func (f *Faulty) ChunkSize() int { return f.inner.ChunkSize() }
+
+// Stats implements Network.
+func (f *Faulty) Stats() Stats {
+	s := f.inner.Stats()
+	s.Failures += f.extra.Failures
+	return s
+}
+
+// Transmit implements Network.
+func (f *Faulty) Transmit(now sim.Time, src, dst, size int) (sim.Time, error) {
+	if f.plan != nil && f.plan(now, src, dst) {
+		f.extra.Failures++
+		return 0, ErrLinkDown
+	}
+	return f.inner.Transmit(now, src, dst, size)
+}

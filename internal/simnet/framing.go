@@ -1,0 +1,162 @@
+package simnet
+
+import (
+	"time"
+)
+
+// Framer converts a payload size into time-on-the-wire for a specific
+// link-layer technology, accounting for framing overhead and minimum
+// frame sizes.
+type Framer interface {
+	// TxTime is the serialization time of size payload bytes, including
+	// all per-frame overhead (headers, preamble, inter-frame gaps, cell
+	// padding). A size of zero still costs at least one minimum frame.
+	TxTime(size int) time.Duration
+	// MTU is the largest payload carried in one frame.
+	MTU() int
+}
+
+func bitsTime(bits float64, bps float64) time.Duration {
+	return time.Duration(bits / bps * float64(time.Second))
+}
+
+func frameCount(size, mtu int) int {
+	if size <= 0 {
+		return 1
+	}
+	return (size + mtu - 1) / mtu
+}
+
+// EthernetFraming models IEEE 802.3: 1500-byte MTU, 18-byte MAC
+// header/CRC, 8-byte preamble, 12-byte (9.6 µs at 10 Mbit/s) inter-frame
+// gap, 46-byte minimum payload.
+type EthernetFraming struct {
+	BitsPerSec float64
+}
+
+// MTU implements Framer.
+func (EthernetFraming) MTU() int { return 1500 }
+
+// TxTime implements Framer.
+func (f EthernetFraming) TxTime(size int) time.Duration {
+	const (
+		mtu        = 1500
+		overhead   = 18 + 8 // MAC header+CRC, preamble
+		gap        = 12     // inter-frame gap in byte times
+		minPayload = 46
+	)
+	frames := frameCount(size, mtu)
+	full := 0
+	if size > 0 {
+		full = size / mtu
+	}
+	rem := size - full*mtu
+	totalBytes := 0
+	for i := 0; i < frames; i++ {
+		p := mtu
+		if i == frames-1 {
+			p = rem
+			if size == 0 || (full > 0 && rem == 0) {
+				p = mtu
+			}
+			if size == 0 {
+				p = 0
+			}
+		}
+		if p < minPayload {
+			p = minPayload
+		}
+		totalBytes += p + overhead + gap
+	}
+	return bitsTime(float64(totalBytes*8), f.BitsPerSec)
+}
+
+// ATMFraming models AAL5 over ATM: payloads are carried in 48-byte cell
+// payloads with 5-byte cell headers, plus an 8-byte AAL5 trailer padded to
+// a cell boundary. The effective throughput is therefore at most 48/53 of
+// the line rate.
+type ATMFraming struct {
+	BitsPerSec float64 // line rate (e.g. 140e6 TAXI, 155.52e6 OC-3)
+	PDU        int     // max AAL5 PDU payload; 0 means 65535
+}
+
+// MTU implements Framer.
+func (f ATMFraming) MTU() int {
+	if f.PDU <= 0 {
+		return 65535
+	}
+	return f.PDU
+}
+
+// TxTime implements Framer.
+func (f ATMFraming) TxTime(size int) time.Duration {
+	const (
+		cellPayload = 48
+		cellSize    = 53
+		aal5Trailer = 8
+	)
+	mtu := f.MTU()
+	frames := frameCount(size, mtu)
+	totalCells := 0
+	remaining := size
+	for i := 0; i < frames; i++ {
+		p := remaining
+		if p > mtu {
+			p = mtu
+		}
+		remaining -= p
+		cells := (p + aal5Trailer + cellPayload - 1) / cellPayload
+		if cells < 1 {
+			cells = 1
+		}
+		totalCells += cells
+	}
+	return bitsTime(float64(totalCells*cellSize*8), f.BitsPerSec)
+}
+
+// FDDIFraming models FDDI: 100 Mbit/s line rate, 4352-byte max payload,
+// ~28 bytes of header/trailer/preamble per frame.
+type FDDIFraming struct {
+	BitsPerSec float64 // normally 100e6
+}
+
+// MTU implements Framer.
+func (FDDIFraming) MTU() int { return 4352 }
+
+// TxTime implements Framer.
+func (f FDDIFraming) TxTime(size int) time.Duration {
+	const (
+		mtu      = 4352
+		overhead = 28
+	)
+	frames := frameCount(size, mtu)
+	totalBytes := size + frames*overhead
+	if size == 0 {
+		totalBytes = overhead
+	}
+	return bitsTime(float64(totalBytes*8), f.BitsPerSec)
+}
+
+// SimpleFraming models a byte-pipe link with fixed fractional overhead,
+// used for the Allnode crossbar (flit-level framing is below the fidelity
+// we need) and for loopback memory channels.
+type SimpleFraming struct {
+	BytesPerSec   float64
+	OverheadBytes int // per chunk
+	MaxChunk      int // 0 = unlimited
+}
+
+// MTU implements Framer.
+func (f SimpleFraming) MTU() int {
+	if f.MaxChunk <= 0 {
+		return 1 << 30
+	}
+	return f.MaxChunk
+}
+
+// TxTime implements Framer.
+func (f SimpleFraming) TxTime(size int) time.Duration {
+	frames := frameCount(size, f.MTU())
+	total := size + frames*f.OverheadBytes
+	return time.Duration(float64(total) / f.BytesPerSec * float64(time.Second))
+}

@@ -1,0 +1,69 @@
+package simnet
+
+import (
+	"fmt"
+	"time"
+
+	"tooleval/internal/sim"
+)
+
+// Loopback models intra-host data movement: the memory-bandwidth-limited
+// copies a message makes between a task and a co-resident daemon (PVM's
+// task → pvmd hop) or between two tasks on the same station. Each station
+// has an independent memory channel.
+type Loopback struct {
+	name      string
+	copyBps   float64 // sustainable memcpy bandwidth, bytes/s
+	perChunk  time.Duration
+	busyUntil []sim.Time
+	stats     Stats
+}
+
+var _ Network = (*Loopback)(nil)
+
+// NewLoopback builds per-station memory channels. copyBps is the
+// sustainable single-copy memory bandwidth of the host; perChunk is the
+// fixed kernel/IPC cost per chunk (local socket write+read).
+func NewLoopback(stations int, copyBps float64, perChunk time.Duration) *Loopback {
+	return &Loopback{
+		name:      "loopback",
+		copyBps:   copyBps,
+		perChunk:  perChunk,
+		busyUntil: make([]sim.Time, stations),
+	}
+}
+
+// Name implements Network.
+func (l *Loopback) Name() string { return l.name }
+
+// Stations implements Network.
+func (l *Loopback) Stations() int { return len(l.busyUntil) }
+
+// ChunkSize implements Network.
+func (l *Loopback) ChunkSize() int { return 1 << 20 }
+
+// Stats implements Network.
+func (l *Loopback) Stats() Stats { return l.stats }
+
+// Transmit implements Network. src and dst must be the same station.
+func (l *Loopback) Transmit(now sim.Time, src, dst, size int) (sim.Time, error) {
+	if src != dst {
+		return 0, fmt.Errorf("simnet: loopback: src %d != dst %d", src, dst)
+	}
+	if src < 0 || src >= len(l.busyUntil) {
+		return 0, fmt.Errorf("simnet: loopback: station %d out of range", src)
+	}
+	start := now
+	if l.busyUntil[src] > start {
+		l.stats.Conflicts++
+		start = l.busyUntil[src]
+	}
+	tx := l.perChunk + time.Duration(float64(size)/l.copyBps*float64(time.Second))
+	end := start.Add(tx)
+	l.busyUntil[src] = end
+	l.stats.Chunks++
+	l.stats.Bytes += int64(size)
+	l.stats.WireTime += tx
+	l.stats.LastBusy = end
+	return end, nil
+}

@@ -1,0 +1,68 @@
+// Package simnet provides discrete-event models of the network fabrics
+// used in the paper's experimentation environment (§3.1): shared 10 Mbit/s
+// Ethernet, switched FDDI, ATM LAN (FORE switch, TAXI interface), ATM WAN
+// (NYNET OC-3 access), the IBM SP-1 Allnode crossbar switch, and the SP-1
+// dedicated Ethernet.
+//
+// A Network arbitrates the medium: Transmit reserves transmission capacity
+// for one protocol chunk and returns the virtual time at which its last
+// bit arrives at the destination. Contention emerges from the reservation
+// discipline — concurrent senders on a shared bus serialize, senders on a
+// switched fabric serialize only per port — which is what differentiates
+// the platforms in the reproduced experiments.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"tooleval/internal/sim"
+)
+
+// ErrLinkDown reports that a transmission was attempted over a failed
+// link. Message-passing tools surface it according to their (per the
+// paper, uniformly immature) error-handling philosophy.
+var ErrLinkDown = errors.New("simnet: link down")
+
+// Stats aggregates traffic accounting for a network instance.
+type Stats struct {
+	Chunks    int64 // Transmit calls that succeeded
+	Bytes     int64 // payload bytes carried
+	WireTime  time.Duration
+	LastBusy  sim.Time
+	Failures  int64 // Transmit calls rejected by fault injection
+	Conflicts int64 // times a sender found the medium/port busy
+}
+
+// Network is a contention-arbitrating model of one fabric. Implementations
+// are not safe for concurrent use; the simulation engine's
+// one-runnable-at-a-time discipline provides the necessary serialization.
+type Network interface {
+	// Name identifies the model (e.g. "ethernet-10", "atm-lan-140").
+	Name() string
+	// Stations reports how many attachment points the fabric has.
+	Stations() int
+	// Transmit reserves the medium at virtual time now for a chunk of
+	// size payload bytes from station src to station dst and returns the
+	// arrival time of its last bit at dst. Chunks larger than ChunkSize
+	// are carried in back-to-back wire frames without yielding the
+	// reservation. src == dst is invalid for fabrics (use Loopback).
+	Transmit(now sim.Time, src, dst, size int) (sim.Time, error)
+	// ChunkSize is the natural protocol chunk (wire MTU payload) of the
+	// fabric. Tools that packetize pick their own, possibly smaller,
+	// chunk sizes.
+	ChunkSize() int
+	// Stats returns a snapshot of the traffic counters.
+	Stats() Stats
+}
+
+func checkStations(name string, stations, src, dst int) error {
+	if src < 0 || src >= stations || dst < 0 || dst >= stations {
+		return fmt.Errorf("simnet: %s: station out of range: src=%d dst=%d stations=%d", name, src, dst, stations)
+	}
+	if src == dst {
+		return fmt.Errorf("simnet: %s: src == dst (%d); use Loopback for intra-host transfer", name, src)
+	}
+	return nil
+}

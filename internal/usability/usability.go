@@ -1,0 +1,136 @@
+// Package usability carries the Application Development Level assessment
+// of §3.3.1: the paper's NS/PS/WS matrix over the §2.3 criteria, together
+// with the rationale the paper gives for each cell. It converts the
+// assessment into the core methodology's input types.
+package usability
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tooleval/internal/core"
+	"tooleval/internal/paperdata"
+)
+
+// Assessment is one cell of the usability matrix with its rationale.
+type Assessment struct {
+	Criterion string
+	Tool      string
+	Rating    core.Rating
+	Rationale string
+}
+
+// rationale captures §2.3/§3.3.1 prose per (criterion, tool).
+var rationale = map[string]map[string]string{
+	"Programming Models Supported": {
+		"p4":      "host-node and SPMD supported",
+		"pvm":     "host-node and SPMD supported",
+		"express": "host-node and Cubix (SPMD) supported",
+	},
+	"Language Interface": {
+		"p4":      "C and FORTRAN bindings",
+		"pvm":     "C and FORTRAN bindings",
+		"express": "C and FORTRAN bindings",
+	},
+	"Ease of Programming": {
+		"p4":      "procgroup files and explicit process management add learning curve",
+		"pvm":     "simple spawn/send/receive model; quickest start of the three",
+		"express": "Cubix model requires re-thinking program structure",
+	},
+	"Debugging Support": {
+		"p4":      "listener/debug flags only",
+		"pvm":     "console tracing only",
+		"express": "ndb debugger plus execution tracing and performance tools",
+	},
+	"Customization": {
+		"p4":      "buffer sizes and transport options tunable",
+		"pvm":     "no macro or reconfiguration facilities",
+		"express": "configurable kernel parameters (packetization, buffers)",
+	},
+	"Error Handling": {
+		"p4":      "errors abort the computation with minimal diagnostics",
+		"pvm":     "error codes returned but recovery is the application's problem",
+		"express": "errors reported without cleanup guarantees",
+	},
+	"Run-Time Interface": {
+		"p4":      "no parallel I/O or data redistribution support",
+		"pvm":     "dynamic process groups and host management at run time",
+		"express": "Cubix parallel I/O and runtime reconfiguration",
+	},
+	"Integration with other Software Systems": {
+		"p4":      "library-only; no visualization or profiling hooks",
+		"pvm":     "XPVM visualization, group server, broad third-party ecosystem",
+		"express": "closed commercial environment",
+	},
+	"Portability": {
+		"p4":      "wide workstation and MPP coverage",
+		"pvm":     "the de-facto portable message passing layer of 1995",
+		"express": "commercial ports across workstations and MPPs; virtual topology independent of physical",
+	},
+}
+
+// Matrix returns the paper's assessment as methodology input.
+func Matrix() (core.UsabilityMatrix, error) {
+	out := core.UsabilityMatrix{}
+	for criterion, tools := range paperdata.ADLMatrix {
+		out[criterion] = map[string]core.Rating{}
+		for tool, r := range tools {
+			rating, err := core.ParseRating(string(r))
+			if err != nil {
+				return nil, fmt.Errorf("usability: %s/%s: %w", criterion, tool, err)
+			}
+			out[criterion][tool] = rating
+		}
+	}
+	return out, nil
+}
+
+// Assessments returns all cells with rationale, ordered by the paper's
+// criterion order then tool name.
+func Assessments() ([]Assessment, error) {
+	m, err := Matrix()
+	if err != nil {
+		return nil, err
+	}
+	var out []Assessment
+	for _, criterion := range paperdata.ADLCriteria {
+		tools := make([]string, 0, len(m[criterion]))
+		for t := range m[criterion] {
+			tools = append(tools, t)
+		}
+		sort.Strings(tools)
+		for _, t := range tools {
+			out = append(out, Assessment{
+				Criterion: criterion,
+				Tool:      t,
+				Rating:    m[criterion][t],
+				Rationale: rationale[criterion][t],
+			})
+		}
+	}
+	return out, nil
+}
+
+// Render formats the matrix in the layout of the paper's §3.3.1 table.
+func Render() (string, error) {
+	m, err := Matrix()
+	if err != nil {
+		return "", err
+	}
+	tools := []string{"p4", "pvm", "express"}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-42s", "Criterion")
+	for _, t := range tools {
+		fmt.Fprintf(&b, " %-8s", t)
+	}
+	b.WriteString("\n")
+	for _, criterion := range paperdata.ADLCriteria {
+		fmt.Fprintf(&b, "%-42s", criterion)
+		for _, t := range tools {
+			fmt.Fprintf(&b, " %-8s", m[criterion][t].String())
+		}
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,84 @@
+package usability
+
+import (
+	"strings"
+	"testing"
+
+	"tooleval/internal/core"
+	"tooleval/internal/paperdata"
+)
+
+func TestMatrixMatchesPaper(t *testing.T) {
+	m, err := Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != len(paperdata.ADLCriteria) {
+		t.Fatalf("matrix has %d criteria, want %d", len(m), len(paperdata.ADLCriteria))
+	}
+	// Spot checks straight from the paper's §3.3.1 table.
+	checks := []struct {
+		criterion, tool string
+		want            core.Rating
+	}{
+		{"Ease of Programming", "pvm", core.WellSupported},
+		{"Ease of Programming", "p4", core.PartiallySupported},
+		{"Debugging Support", "express", core.WellSupported},
+		{"Customization", "pvm", core.NotSupported},
+		{"Error Handling", "p4", core.PartiallySupported},
+		{"Integration with other Software Systems", "express", core.NotSupported},
+		{"Portability", "p4", core.WellSupported},
+	}
+	for _, c := range checks {
+		if got := m[c.criterion][c.tool]; got != c.want {
+			t.Fatalf("%s/%s = %v, want %v", c.criterion, c.tool, got, c.want)
+		}
+	}
+}
+
+func TestAssessmentsHaveRationale(t *testing.T) {
+	as, err := Assessments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != len(paperdata.ADLCriteria)*3 {
+		t.Fatalf("got %d assessments, want %d", len(as), len(paperdata.ADLCriteria)*3)
+	}
+	for _, a := range as {
+		if a.Rationale == "" {
+			t.Fatalf("%s/%s has no rationale", a.Criterion, a.Tool)
+		}
+	}
+}
+
+func TestRenderLayout(t *testing.T) {
+	text, err := Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, criterion := range paperdata.ADLCriteria {
+		if !strings.Contains(text, criterion) {
+			t.Fatalf("rendered table missing %q", criterion)
+		}
+	}
+	// All tools WS on portability (last line of the paper's table).
+	lines := strings.Split(strings.TrimSpace(text), "\n")
+	last := lines[len(lines)-1]
+	if !strings.HasPrefix(last, "Portability") || strings.Count(last, "WS") != 3 {
+		t.Fatalf("portability row wrong: %q", last)
+	}
+}
+
+func TestErrorHandlingUniformlyPartial(t *testing.T) {
+	// "All the tools that we used in this paper do not have a mature
+	// error/exception handling feature" (§2.3).
+	m, err := Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tool, r := range m["Error Handling"] {
+		if r != core.PartiallySupported {
+			t.Fatalf("Error Handling for %s = %v, want PS for all tools", tool, r)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+// Package tooleval is a reproduction of the multi-level evaluation
+// methodology for parallel/distributed computing (PDC) tools from
+// Hariri, Park, Reddy, Subramanyan, Yadav, Fox and Parashar, "Software
+// Tool Evaluation Methodology" (NPAC, Syracuse University, 1995).
+//
+// The package evaluates message-passing tools from three perspectives:
+//
+//   - Tool Performance Level (TPL): micro-benchmarks of the communication
+//     primitives (send/receive, broadcast, ring, global summation);
+//   - Application Performance Level (APL): execution times of real
+//     applications (JPEG compression, 2D-FFT, Monte Carlo integration,
+//     parallel sorting by regular sampling);
+//   - Application Development Level (ADL): a usability assessment matrix.
+//
+// Weight profiles combine the levels into an overall score tailored to a
+// user type (end user, developer, system manager).
+//
+// Because the 1995 systems (Express, p4, PVM) and test-beds (IBM SP-1,
+// Alpha/FDDI cluster, SPARCstations on Ethernet/ATM/NYNET) are long gone,
+// the package includes faithful discrete-event models of all of them:
+// the tools are re-implemented over a simulated transport with the
+// mechanisms the originals used (direct streams for p4, daemon routing
+// and XDR for PVM, rendezvous plus fixed-size packetization for
+// Express), and applications compute real results over real payloads
+// while virtual time provides all measurements deterministically.
+package tooleval
+
+import (
+	"fmt"
+
+	"tooleval/internal/bench"
+	"tooleval/internal/core"
+	"tooleval/internal/mpt"
+	"tooleval/internal/mpt/tools"
+	"tooleval/internal/platform"
+	"tooleval/internal/usability"
+)
+
+// Re-exported core types. These aliases are the stable public surface;
+// the internal packages may reorganize without breaking users.
+type (
+	// Platform is a simulated 1995 platform/network configuration.
+	Platform = platform.Platform
+	// Comm is a rank's endpoint on a message-passing tool.
+	Comm = mpt.Comm
+	// Ctx is what an SPMD application body receives.
+	Ctx = mpt.Ctx
+	// Message is a delivered message.
+	Message = mpt.Message
+	// RunConfig parameterizes a simulated run.
+	RunConfig = mpt.RunConfig
+	// RunResult reports a simulated run.
+	RunResult = mpt.RunResult
+	// Factory constructs a tool over an environment (for custom tools).
+	Factory = mpt.Factory
+	// Env is the environment a tool is built over.
+	Env = mpt.Env
+	// Evaluation is the outcome of the multi-level methodology.
+	Evaluation = core.Evaluation
+	// WeightProfile tailors an evaluation to a user type.
+	WeightProfile = core.WeightProfile
+	// PrimitiveMeasurement is TPL input to the methodology.
+	PrimitiveMeasurement = core.PrimitiveMeasurement
+	// AppMeasurement is APL input to the methodology.
+	AppMeasurement = core.AppMeasurement
+	// Series is one curve of a regenerated figure.
+	Series = bench.Series
+)
+
+// Wildcards for Recv.
+const (
+	AnySource = mpt.AnySource
+	AnyTag    = mpt.AnyTag
+)
+
+// ErrNotSupported reports a primitive a tool does not provide (PVM's
+// global operations).
+var ErrNotSupported = mpt.ErrNotSupported
+
+// Platforms returns the §3.1 platform catalog.
+func Platforms() []Platform { return platform.All() }
+
+// GetPlatform looks up a platform by key ("sun-ethernet", "sun-atm-lan",
+// "sun-atm-wan", "alpha-fddi", "sp1-switch", "sp1-ethernet").
+func GetPlatform(key string) (Platform, error) { return platform.Get(key) }
+
+// ToolNames returns the evaluated tools: p4, pvm, express.
+func ToolNames() []string { return tools.Names() }
+
+// Run executes body as an SPMD program under the named tool on the named
+// platform. All timing in the result is deterministic virtual time.
+func Run(platformKey, tool string, cfg RunConfig, body func(*Ctx) (any, error)) (*RunResult, error) {
+	pf, err := platform.Get(platformKey)
+	if err != nil {
+		return nil, err
+	}
+	if !pf.Supports(tool) {
+		return nil, fmt.Errorf("tooleval: %s has no %s port (paper §3.1)", pf.Name, tool)
+	}
+	factory, err := tools.Factory(tool)
+	if err != nil {
+		return nil, err
+	}
+	return mpt.Run(pf, factory, cfg, body)
+}
+
+// RunWithFactory is Run for a user-supplied tool implementation — the
+// methodology's second objective is serving as "a unified platform for
+// PDC tool developers".
+func RunWithFactory(platformKey string, factory Factory, cfg RunConfig, body func(*Ctx) (any, error)) (*RunResult, error) {
+	pf, err := platform.Get(platformKey)
+	if err != nil {
+		return nil, err
+	}
+	return mpt.Run(pf, factory, cfg, body)
+}
+
+// PingPong measures the send/receive round trip (Table 3's benchmark)
+// and returns milliseconds per message size.
+func PingPong(platformKey, tool string, sizes []int) ([]float64, error) {
+	pf, err := platform.Get(platformKey)
+	if err != nil {
+		return nil, err
+	}
+	return bench.PingPong(pf, tool, sizes)
+}
+
+// Broadcast measures the collective broadcast (Figure 2's benchmark).
+func Broadcast(platformKey, tool string, procs int, sizes []int) ([]float64, error) {
+	pf, err := platform.Get(platformKey)
+	if err != nil {
+		return nil, err
+	}
+	return bench.Broadcast(pf, tool, procs, sizes)
+}
+
+// Ring measures the ring/loop benchmark (Figure 3).
+func Ring(platformKey, tool string, procs int, sizes []int) ([]float64, error) {
+	pf, err := platform.Get(platformKey)
+	if err != nil {
+		return nil, err
+	}
+	return bench.Ring(pf, tool, procs, sizes)
+}
+
+// GlobalSum measures the integer-vector global summation (Figure 4).
+func GlobalSum(platformKey, tool string, procs int, vectorLens []int) ([]float64, error) {
+	pf, err := platform.Get(platformKey)
+	if err != nil {
+		return nil, err
+	}
+	return bench.GlobalSum(pf, tool, procs, vectorLens)
+}
+
+// RunApp executes a suite application ("jpeg", "fft2d", "montecarlo",
+// "psrs") over a processor sweep and returns its execution-time curve.
+// scale shrinks the paper-scale workload (1.0 reproduces the paper).
+func RunApp(platformKey, tool, app string, procsList []int, scale float64) (AppMeasurement, error) {
+	pf, err := platform.Get(platformKey)
+	if err != nil {
+		return AppMeasurement{}, err
+	}
+	s, err := bench.RunAPL(pf, tool, app, procsList, scale)
+	if err != nil {
+		return AppMeasurement{}, err
+	}
+	return AppMeasurement{Platform: s.Platform, App: s.App, Tool: s.Tool, Procs: s.Procs, Seconds: s.Seconds}, nil
+}
+
+// Profiles returns the built-in weight profiles (end-user, developer,
+// system-manager).
+func Profiles() []WeightProfile { return core.Profiles() }
+
+// EndUserProfile weights application performance highest (§2: response
+// time is the end user's metric).
+func EndUserProfile() WeightProfile { return core.EndUserProfile() }
+
+// DeveloperProfile weights the development interface highest.
+func DeveloperProfile() WeightProfile { return core.DeveloperProfile() }
+
+// SystemManagerProfile weights raw primitive efficiency highest (§2:
+// utilization is the system manager's metric).
+func SystemManagerProfile() WeightProfile { return core.SystemManagerProfile() }
+
+// Evaluate runs the complete multi-level methodology: it regenerates the
+// TPL measurements (Table 3 and Figures 2-4), the APL measurements on
+// the SUN/Ethernet platform at the given workload scale, combines them
+// with the paper's ADL matrix, and returns the weighted evaluation.
+func Evaluate(profile WeightProfile, scale float64) (*Evaluation, error) {
+	t3, err := bench.Table3()
+	if err != nil {
+		return nil, err
+	}
+	tpl := t3.Measurements()
+	fig2, err := bench.Fig2(4)
+	if err != nil {
+		return nil, err
+	}
+	fig3, err := bench.Fig3(4)
+	if err != nil {
+		return nil, err
+	}
+	fig4, err := bench.Fig4(4)
+	if err != nil {
+		return nil, err
+	}
+	addSeries := func(fig *bench.FigureResult, primitive string) {
+		for _, s := range fig.Series {
+			if s.Tool == "p4-NYNET" {
+				continue
+			}
+			m := PrimitiveMeasurement{Platform: s.Platform, Primitive: primitive, Tool: s.Tool}
+			for _, p := range s.Points {
+				m.Sizes = append(m.Sizes, int(p.X*1024))
+				m.TimesMs = append(m.TimesMs, p.Y)
+			}
+			tpl = append(tpl, m)
+		}
+	}
+	addSeries(fig2, "broadcast")
+	addSeries(fig3, "ring")
+	addSeries(fig4, "global sum")
+
+	_, apl, err := bench.APLFigure("fig8", scale)
+	if err != nil {
+		return nil, err
+	}
+	adl, err := usability.Matrix()
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.New(profile)
+	if err != nil {
+		return nil, err
+	}
+	return m.Evaluate(tpl, apl, adl)
+}
+
+// RenderEvaluation formats an evaluation as a text report.
+func RenderEvaluation(ev *Evaluation) string { return core.RenderEvaluation(ev) }

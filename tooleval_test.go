@@ -1,0 +1,104 @@
+package tooleval_test
+
+import (
+	"strings"
+	"testing"
+
+	"tooleval"
+)
+
+func TestPlatformsCatalog(t *testing.T) {
+	pfs := tooleval.Platforms()
+	if len(pfs) != 6 {
+		t.Fatalf("got %d platforms, want 6", len(pfs))
+	}
+	if _, err := tooleval.GetPlatform("sun-ethernet"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tooleval.GetPlatform("bogus"); err == nil {
+		t.Fatal("unknown platform should error")
+	}
+}
+
+func TestToolNames(t *testing.T) {
+	names := tooleval.ToolNames()
+	want := []string{"p4", "pvm", "express"}
+	if len(names) != len(want) {
+		t.Fatalf("tools = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("tools = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestRunRejectsMissingPort(t *testing.T) {
+	_, err := tooleval.Run("sun-atm-wan", "express", tooleval.RunConfig{Procs: 2},
+		func(c *tooleval.Ctx) (any, error) { return nil, nil })
+	if err == nil {
+		t.Fatal("express on NYNET must be rejected")
+	}
+	if !strings.Contains(err.Error(), "no express port") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+func TestPublicPingPong(t *testing.T) {
+	ms, err := tooleval.PingPong("sun-ethernet", "p4", []int{0, 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 || ms[1] <= ms[0] {
+		t.Fatalf("ping-pong times %v", ms)
+	}
+}
+
+func TestPublicRunApp(t *testing.T) {
+	m, err := tooleval.RunApp("alpha-fddi", "pvm", "montecarlo", []int{1, 2}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Procs) != 2 || m.Seconds[1] >= m.Seconds[0] {
+		t.Fatalf("montecarlo should speed up: %+v", m)
+	}
+}
+
+func TestEvaluateEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation skipped in -short")
+	}
+	for _, profile := range tooleval.Profiles() {
+		ev, err := tooleval.Evaluate(profile, 0.1)
+		if err != nil {
+			t.Fatalf("%s: %v", profile.Name, err)
+		}
+		// p4 wins overall under every performance-weighted profile; its
+		// TPL score must be a perfect 1.0 (fastest at every primitive).
+		if ev.Levels["TPL"]["p4"] < 0.999 {
+			t.Fatalf("%s: p4 TPL = %f, want 1.0", profile.Name, ev.Levels["TPL"]["p4"])
+		}
+		// PVM has the best usability matrix.
+		if !(ev.Levels["ADL"]["pvm"] > ev.Levels["ADL"]["p4"]) {
+			t.Fatalf("%s: ADL should favor pvm over p4: %v", profile.Name, ev.Levels["ADL"])
+		}
+		text := tooleval.RenderEvaluation(ev)
+		if !strings.Contains(text, profile.Name) {
+			t.Fatalf("report missing profile name:\n%s", text)
+		}
+	}
+}
+
+func TestDeterministicPublicAPI(t *testing.T) {
+	a, err := tooleval.Ring("sun-ethernet", "pvm", 4, []int{8 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tooleval.Ring("sun-ethernet", "pvm", 4, []int{8 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != b[0] {
+		t.Fatalf("ring not deterministic: %f vs %f", a[0], b[0])
+	}
+}
