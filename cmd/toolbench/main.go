@@ -15,6 +15,11 @@
 //	-profile p weight profile for the report (end-user, developer,
 //	           system-manager)
 //	-chart     render figures as ASCII charts instead of tables
+//	-j n       run up to n independent simulations concurrently
+//	           (default GOMAXPROCS; 1 = the serial sweep). Virtual time
+//	           keeps every cell deterministic, so output is identical
+//	           at any -j; repeated cells (e.g. `all` followed by its
+//	           closing report) are memoized and simulate once.
 package main
 
 import (
@@ -22,12 +27,15 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sort"
 
 	"tooleval/internal/bench"
 	"tooleval/internal/core"
 	"tooleval/internal/mpt/tools"
 	"tooleval/internal/paperdata"
 	"tooleval/internal/platform"
+	"tooleval/internal/runner"
 	"tooleval/internal/usability"
 )
 
@@ -43,6 +51,7 @@ type config struct {
 	outDir  string
 	profile string
 	chart   bool
+	jobs    int
 }
 
 func run(args []string, w *os.File) error {
@@ -52,9 +61,14 @@ func run(args []string, w *os.File) error {
 	fs.StringVar(&cfg.outDir, "out", "", "directory for .txt/.dat artifacts (optional)")
 	fs.StringVar(&cfg.profile, "profile", "end-user", "weight profile: end-user, developer, system-manager")
 	fs.BoolVar(&cfg.chart, "chart", false, "render figures as ASCII charts instead of tables")
+	fs.IntVar(&cfg.jobs, "j", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if cfg.jobs < 1 {
+		return fmt.Errorf("-j %d: need at least one worker", cfg.jobs)
+	}
+	runner.SetDefault(runner.New(cfg.jobs))
 	if fs.NArg() != 1 {
 		fs.Usage()
 		return fmt.Errorf("need exactly one experiment (one of %v, report, all, list)", bench.Experiments())
@@ -70,8 +84,13 @@ func run(args []string, w *os.File) error {
 		fmt.Fprintln(w, "experiments:", bench.Experiments())
 		fmt.Fprintln(w, "tools:", tools.Names())
 		fmt.Fprintln(w, "suite (Table 2):")
-		for class, apps := range paperdata.SuiteTable2 {
-			fmt.Fprintf(w, "  %-24s %v\n", class, apps)
+		classes := make([]string, 0, len(paperdata.SuiteTable2))
+		for class := range paperdata.SuiteTable2 {
+			classes = append(classes, class)
+		}
+		sort.Strings(classes)
+		for _, class := range classes {
+			fmt.Fprintf(w, "  %-24s %v\n", class, paperdata.SuiteTable2[class])
 		}
 		return nil
 	case "all":
@@ -194,8 +213,17 @@ func runExperiment(exp string, cfg config, w *os.File) error {
 		if err != nil {
 			return err
 		}
+		names := tools.PrimitiveNames()
 		prims := "Table 1: primitive name map\n"
-		for prim, byTool := range tools.PrimitiveNames() {
+		// Map iteration order is random per process; sort so repeated
+		// runs (and -j variations) emit byte-identical output.
+		order := make([]string, 0, len(names))
+		for prim := range names {
+			order = append(order, prim)
+		}
+		sort.Strings(order)
+		for _, prim := range order {
+			byTool := names[prim]
 			prims += fmt.Sprintf("  %-14s express=%-22s p4=%-22s pvm=%s\n",
 				prim, byTool["express"], byTool["p4"], byTool["pvm"])
 		}
@@ -217,7 +245,7 @@ func runReport(cfg config, w *os.File) error {
 	if !found {
 		return fmt.Errorf("unknown profile %q", cfg.profile)
 	}
-	ev, err := evaluate(profile, cfg.scale)
+	ev, err := bench.Evaluate(profile, cfg.scale)
 	if err != nil {
 		return err
 	}
@@ -234,55 +262,6 @@ func runReport(cfg config, w *os.File) error {
 		return os.WriteFile(filepath.Join(cfg.outDir, "report-"+profile.Name+".json"), blob, 0o644)
 	}
 	return nil
-}
-
-func evaluate(profile core.WeightProfile, scale float64) (*core.Evaluation, error) {
-	t3, err := bench.Table3()
-	if err != nil {
-		return nil, err
-	}
-	tpl := t3.Measurements()
-	fig2, err := bench.Fig2(4)
-	if err != nil {
-		return nil, err
-	}
-	fig3, err := bench.Fig3(4)
-	if err != nil {
-		return nil, err
-	}
-	fig4, err := bench.Fig4(4)
-	if err != nil {
-		return nil, err
-	}
-	add := func(fig *bench.FigureResult, primitive string) {
-		for _, s := range fig.Series {
-			if s.Tool == "p4-NYNET" {
-				continue
-			}
-			m := core.PrimitiveMeasurement{Platform: s.Platform, Primitive: primitive, Tool: s.Tool}
-			for _, p := range s.Points {
-				m.Sizes = append(m.Sizes, int(p.X*1024))
-				m.TimesMs = append(m.TimesMs, p.Y)
-			}
-			tpl = append(tpl, m)
-		}
-	}
-	add(fig2, "broadcast")
-	add(fig3, "ring")
-	add(fig4, "global sum")
-	_, apl, err := bench.APLFigure("fig8", scale)
-	if err != nil {
-		return nil, err
-	}
-	adl, err := usability.Matrix()
-	if err != nil {
-		return nil, err
-	}
-	m, err := core.New(profile)
-	if err != nil {
-		return nil, err
-	}
-	return m.Evaluate(tpl, apl, adl)
 }
 
 // platformFor wraps platform lookup for experiment handlers.

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"tooleval/internal/bench"
 )
 
 func TestRunExperiments(t *testing.T) {
@@ -59,6 +61,76 @@ func TestRunReport(t *testing.T) {
 	}
 	if err := run([]string{"-profile", "nonexistent", "report"}, null); err == nil {
 		t.Fatal("unknown profile should error")
+	}
+}
+
+// runArgsTable drives TestRunArgs; TestExperimentIDsCovered checks it
+// stays exhaustive over bench.Experiments().
+var runArgsTable = []struct {
+	name    string
+	args    []string
+	wantErr bool
+}{
+	// Every experiment id dispatches (small scale keeps APL cheap).
+	{"table3", []string{"-scale", "0.05", "table3"}, false},
+	{"table4", []string{"-scale", "0.05", "table4"}, false},
+	{"fig2", []string{"-scale", "0.05", "fig2"}, false},
+	{"fig3", []string{"-scale", "0.05", "fig3"}, false},
+	{"fig4", []string{"-scale", "0.05", "fig4"}, false},
+	{"fig5", []string{"-scale", "0.05", "fig5"}, false},
+	{"fig6", []string{"-scale", "0.05", "fig6"}, false},
+	{"fig7", []string{"-scale", "0.05", "fig7"}, false},
+	{"fig8", []string{"-scale", "0.05", "fig8"}, false},
+	{"adl", []string{"adl"}, false},
+	{"trace", []string{"trace"}, false},
+	{"list", []string{"list"}, false},
+	{"report", []string{"-scale", "0.05", "report"}, false},
+	{"all", []string{"-scale", "0.05", "all"}, false},
+	// Parallelism flag.
+	{"explicit -j", []string{"-j", "4", "-scale", "0.05", "fig2"}, false},
+	{"serial -j", []string{"-j", "1", "fig3"}, false},
+	{"zero -j", []string{"-j", "0", "fig2"}, true},
+	{"negative -j", []string{"-j", "-2", "fig2"}, true},
+	{"non-numeric -j", []string{"-j", "many", "fig2"}, true},
+	// Invalid invocations.
+	{"no experiment", []string{}, true},
+	{"two experiments", []string{"fig2", "fig3"}, true},
+	{"unknown experiment", []string{"fig99"}, true},
+	{"unknown profile", []string{"-profile", "operator", "report"}, true},
+	{"non-numeric scale", []string{"-scale", "big", "fig2"}, true},
+}
+
+func TestRunArgs(t *testing.T) {
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer null.Close()
+	for _, tt := range runArgsTable {
+		t.Run(tt.name, func(t *testing.T) {
+			err := run(tt.args, null)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("run(%v) error = %v, wantErr %v", tt.args, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestExperimentIDsCovered(t *testing.T) {
+	// Guards runArgsTable against a new experiment id silently going
+	// untested: every id bench.Experiments reports must appear as a
+	// passing entry. Coverage is asserted statically — TestRunArgs
+	// already performs the actual dispatch.
+	covered := map[string]bool{}
+	for _, tt := range runArgsTable {
+		if !tt.wantErr && len(tt.args) > 0 {
+			covered[tt.args[len(tt.args)-1]] = true
+		}
+	}
+	for _, exp := range bench.Experiments() {
+		if !covered[exp] {
+			t.Errorf("experiment %q missing from runArgsTable", exp)
+		}
 	}
 }
 

@@ -1,0 +1,3 @@
+module tooleval
+
+go 1.22

@@ -7,6 +7,7 @@ import (
 	"tooleval/internal/mpt"
 	"tooleval/internal/mpt/tools"
 	"tooleval/internal/platform"
+	"tooleval/internal/runner"
 )
 
 // APLSeries is one application's execution-time curve for one tool on
@@ -34,7 +35,9 @@ func ProcSweep(pf platform.Platform, app apps.App) []int {
 // RunAPL executes one application across the processor sweep and returns
 // its curve. Results are verified against the sequential reference at
 // every point — a benchmark data point that computed the wrong answer is
-// an error, not a number.
+// an error, not a number. Each sweep point is an independent cell: the
+// runner fans them out and memoizes them by (platform, tool, app,
+// procs, scale).
 func RunAPL(pf platform.Platform, toolName, appName string, procsList []int, scale float64) (APLSeries, error) {
 	s := APLSeries{App: appName, Platform: pf.Key, Tool: toolName}
 	if !pf.Supports(toolName) {
@@ -48,29 +51,40 @@ func RunAPL(pf platform.Platform, toolName, appName string, procsList []int, sca
 	if err != nil {
 		return s, err
 	}
+	sweep := make([]int, 0, len(procsList))
 	for _, procs := range procsList {
-		if !app.ValidProcs(procs) {
-			continue
+		if app.ValidProcs(procs) {
+			sweep = append(sweep, procs)
 		}
-		res, err := mpt.Run(pf, factory, mpt.RunConfig{Procs: procs}, func(c *mpt.Ctx) (any, error) {
-			return app.Run(c, scale)
-		})
-		if err != nil {
-			return s, fmt.Errorf("bench: %s/%s/%s procs=%d: %w", pf.Key, toolName, appName, procs, err)
-		}
-		if err := app.Verify(res.Value, procs, scale); err != nil {
-			return s, fmt.Errorf("bench: %s/%s/%s procs=%d verification: %w", pf.Key, toolName, appName, procs, err)
-		}
-		secs := res.Elapsed.Seconds()
-		// Applications that time an inner phase (the FFT excludes its
-		// verification-only scatter/gather) report it themselves.
-		if t, ok := res.Value.(interface{ InnerSeconds() (float64, bool) }); ok {
-			if inner, valid := t.InnerSeconds(); valid {
-				secs = inner
-			}
-		}
-		s.Procs = append(s.Procs, procs)
-		s.Seconds = append(s.Seconds, secs)
 	}
+	r := runner.Default()
+	times, err := runner.Collect(r, sweep, func(procs int) (float64, error) {
+		key := runner.Key{Platform: pf.Key, Tool: toolName, Bench: "apl/" + appName, Procs: procs, Scale: scale}
+		return r.Memo(key, func() (float64, error) {
+			res, err := mpt.Run(pf, factory, mpt.RunConfig{Procs: procs}, func(c *mpt.Ctx) (any, error) {
+				return app.Run(c, scale)
+			})
+			if err != nil {
+				return 0, fmt.Errorf("bench: %s/%s/%s procs=%d: %w", pf.Key, toolName, appName, procs, err)
+			}
+			if err := app.Verify(res.Value, procs, scale); err != nil {
+				return 0, fmt.Errorf("bench: %s/%s/%s procs=%d verification: %w", pf.Key, toolName, appName, procs, err)
+			}
+			secs := res.Elapsed.Seconds()
+			// Applications that time an inner phase (the FFT excludes its
+			// verification-only scatter/gather) report it themselves.
+			if t, ok := res.Value.(interface{ InnerSeconds() (float64, bool) }); ok {
+				if inner, valid := t.InnerSeconds(); valid {
+					secs = inner
+				}
+			}
+			return secs, nil
+		})
+	})
+	if err != nil {
+		return s, err
+	}
+	s.Procs = sweep
+	s.Seconds = times
 	return s, nil
 }

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"tooleval/internal/core"
+	"tooleval/internal/runner"
+	"tooleval/internal/usability"
+)
+
+// Evaluate runs the complete multi-level methodology: it regenerates the
+// TPL measurements (Table 3 and Figures 2-4), the APL measurements on
+// the SUN/Ethernet platform at the given workload scale, combines them
+// with the paper's ADL matrix, and returns the weighted evaluation.
+//
+// The five regeneration steps are independent, so they fan out through
+// the runner like any other cells; every simulation they need is
+// memoized, so an Evaluate following a `toolbench all` sweep re-uses
+// the sweep's results and simulates nothing.
+func Evaluate(profile core.WeightProfile, scale float64) (*core.Evaluation, error) {
+	var (
+		t3               *Table3Result
+		fig2, fig3, fig4 *FigureResult
+		apl              []core.AppMeasurement
+	)
+	steps := []func() error{
+		func() (err error) { t3, err = Table3(); return },
+		func() (err error) { fig2, err = Fig2(4); return },
+		func() (err error) { fig3, err = Fig3(4); return },
+		func() (err error) { fig4, err = Fig4(4); return },
+		func() (err error) { _, apl, err = APLFigure(ExpFig8, scale); return },
+	}
+	if err := runner.Default().Map(len(steps), func(i int) error { return steps[i]() }); err != nil {
+		return nil, err
+	}
+	tpl := t3.Measurements()
+	addSeries := func(fig *FigureResult, primitive string) {
+		for _, s := range fig.Series {
+			if s.Tool == "p4-NYNET" {
+				continue
+			}
+			m := core.PrimitiveMeasurement{Platform: s.Platform, Primitive: primitive, Tool: s.Tool}
+			for _, p := range s.Points {
+				m.Sizes = append(m.Sizes, int(p.X*1024))
+				m.TimesMs = append(m.TimesMs, p.Y)
+			}
+			tpl = append(tpl, m)
+		}
+	}
+	addSeries(fig2, "broadcast")
+	addSeries(fig3, "ring")
+	addSeries(fig4, "global sum")
+
+	adl, err := usability.Matrix()
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.New(profile)
+	if err != nil {
+		return nil, err
+	}
+	return m.Evaluate(tpl, apl, adl)
+}

@@ -8,6 +8,7 @@ import (
 	"tooleval/internal/core"
 	"tooleval/internal/paperdata"
 	"tooleval/internal/platform"
+	"tooleval/internal/runner"
 )
 
 // Experiment identifiers, one per table/figure of the paper's evaluation
@@ -39,9 +40,16 @@ type Table3Result struct {
 }
 
 // Table3 regenerates the snd/recv timing table over the three SUN
-// networks.
+// networks. The network×tool columns are independent sweeps, so they
+// fan out through the runner; assembly into the result maps happens
+// serially afterwards, in the fixed network/tool order.
 func Table3() (*Table3Result, error) {
 	res := &Table3Result{SizesBytes: StandardSizes(), TimesMs: map[string]map[string][]float64{}}
+	type job struct {
+		net, tool string
+		pf        platform.Platform
+	}
+	var jobs []job
 	for _, net := range []string{"ethernet", "atm-lan", "atm-wan"} {
 		pf, err := platform.Get(paperdata.Table3PlatformKey[net])
 		if err != nil {
@@ -52,12 +60,17 @@ func Table3() (*Table3Result, error) {
 			if !pf.Supports(tool) {
 				continue // Express has no NYNET column
 			}
-			times, err := PingPong(pf, tool, res.SizesBytes)
-			if err != nil {
-				return nil, err
-			}
-			res.TimesMs[net][tool] = times
+			jobs = append(jobs, job{net: net, tool: tool, pf: pf})
 		}
+	}
+	times, err := runner.Collect(runner.Default(), jobs, func(j job) ([]float64, error) {
+		return PingPong(j.pf, j.tool, res.SizesBytes)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, j := range jobs {
+		res.TimesMs[j.net][j.tool] = times[i]
 	}
 	return res, nil
 }
@@ -144,6 +157,12 @@ func Fig3(procs int) (*FigureResult, error) {
 
 func tplFigure(id, title string, procs int, sizes []int, run func(platform.Platform, string, int, []int) ([]float64, error)) (*FigureResult, error) {
 	fig := &FigureResult{ID: id, Title: title + " on SUN stations", XLabel: "Message Size (Kbytes)", YLabel: "Execution Time (msec)"}
+	type job struct {
+		key  string
+		tool string
+		pf   platform.Platform
+	}
+	var jobs []job
 	for _, key := range []string{"sun-ethernet", "sun-atm-wan"} {
 		pf, err := platform.Get(key)
 		if err != nil {
@@ -153,17 +172,24 @@ func tplFigure(id, title string, procs int, sizes []int, run func(platform.Platf
 			if !pf.Supports(tool) {
 				continue
 			}
-			times, err := run(pf, tool, procs, sizes)
-			if err != nil {
-				return nil, err
-			}
-			s := Series{Tool: tool, Platform: key}
-			for i, sz := range sizes {
-				s.Points = append(s.Points, Point{X: float64(sz) / 1024, Y: times[i]})
-			}
-			fig.Series = append(fig.Series, s)
+			jobs = append(jobs, job{key: key, tool: tool, pf: pf})
 		}
 	}
+	curves, err := runner.Collect(runner.Default(), jobs, func(j job) (Series, error) {
+		times, err := run(j.pf, j.tool, procs, sizes)
+		if err != nil {
+			return Series{}, err
+		}
+		s := Series{Tool: j.tool, Platform: j.key}
+		for k, sz := range sizes {
+			s.Points = append(s.Points, Point{X: float64(sz) / 1024, Y: times[k]})
+		}
+		return s, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	fig.Series = curves
 	return fig, nil
 }
 
@@ -179,30 +205,35 @@ func Fig4(procs int) (*FigureResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, tool := range []string{"p4", "express"} {
-		times, err := GlobalSum(eth, tool, procs, lens)
-		if err != nil {
-			return nil, err
-		}
-		s := Series{Tool: tool, Platform: "sun-ethernet"}
-		for i, n := range lens {
-			s.Points = append(s.Points, Point{X: float64(n), Y: times[i]})
-		}
-		fig.Series = append(fig.Series, s)
-	}
 	wan, err := platform.Get("sun-atm-wan")
 	if err != nil {
 		return nil, err
 	}
-	times, err := GlobalSum(wan, "p4", procs, lens)
+	type job struct {
+		label string
+		tool  string
+		pf    platform.Platform
+	}
+	jobs := []job{
+		{label: "p4", tool: "p4", pf: eth},
+		{label: "express", tool: "express", pf: eth},
+		{label: "p4-NYNET", tool: "p4", pf: wan},
+	}
+	curves, err := runner.Collect(runner.Default(), jobs, func(j job) (Series, error) {
+		times, err := GlobalSum(j.pf, j.tool, procs, lens)
+		if err != nil {
+			return Series{}, err
+		}
+		s := Series{Tool: j.label, Platform: j.pf.Key}
+		for k, n := range lens {
+			s.Points = append(s.Points, Point{X: float64(n), Y: times[k]})
+		}
+		return s, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	s := Series{Tool: "p4-NYNET", Platform: "sun-atm-wan"}
-	for i, n := range lens {
-		s.Points = append(s.Points, Point{X: float64(n), Y: times[i]})
-	}
-	fig.Series = append(fig.Series, s)
+	fig.Series = curves
 	return fig, nil
 }
 
@@ -232,27 +263,35 @@ func APLFigure(figID string, scale float64) (*FigureResult, []core.AppMeasuremen
 		ID: figID, Title: "Application performances on " + pf.Name,
 		XLabel: "Number of Processors", YLabel: "Execution Time (seconds)",
 	}
-	var measurements []core.AppMeasurement
 	procs := make([]int, 0, spec.MaxProcs)
 	for p := 1; p <= spec.MaxProcs; p++ {
 		procs = append(procs, p)
 	}
+	type job struct{ app, tool string }
+	var jobs []job
 	for _, app := range paperdata.APLApps {
 		for _, tool := range spec.Tools {
-			series, err := RunAPL(pf, tool, app, procs, scale)
-			if err != nil {
-				return nil, nil, err
-			}
-			s := Series{Tool: tool + "/" + app, Platform: pf.Key}
-			for i := range series.Procs {
-				s.Points = append(s.Points, Point{X: float64(series.Procs[i]), Y: series.Seconds[i]})
-			}
-			fig.Series = append(fig.Series, s)
-			measurements = append(measurements, core.AppMeasurement{
-				Platform: pf.Key, App: app, Tool: tool,
-				Procs: series.Procs, Seconds: series.Seconds,
-			})
+			jobs = append(jobs, job{app: app, tool: tool})
 		}
+	}
+	sweeps, err := runner.Collect(runner.Default(), jobs, func(j job) (APLSeries, error) {
+		return RunAPL(pf, j.tool, j.app, procs, scale)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var measurements []core.AppMeasurement
+	for i, j := range jobs {
+		series := sweeps[i]
+		s := Series{Tool: j.tool + "/" + j.app, Platform: pf.Key}
+		for k := range series.Procs {
+			s.Points = append(s.Points, Point{X: float64(series.Procs[k]), Y: series.Seconds[k]})
+		}
+		fig.Series = append(fig.Series, s)
+		measurements = append(measurements, core.AppMeasurement{
+			Platform: pf.Key, App: j.app, Tool: j.tool,
+			Procs: series.Procs, Seconds: series.Seconds,
+		})
 	}
 	return fig, measurements, nil
 }

@@ -3,6 +3,13 @@
 // micro-benchmarks (send/receive, broadcast, ring, global sum — Table 3,
 // Figures 2-4), the Application Performance Level sweeps (Figures 5-8),
 // and the derived rankings (Table 4).
+//
+// Every measured point is one independent virtual-time simulation (one
+// mpt.Run), so the harness routes each through the process-wide
+// internal/runner scheduler: points fan out across a bounded worker pool
+// and are memoized by content key, while result assembly stays in input
+// order so the emitted tables and figures are bit-identical to a serial
+// sweep.
 package bench
 
 import (
@@ -12,6 +19,7 @@ import (
 	"tooleval/internal/mpt"
 	"tooleval/internal/mpt/tools"
 	"tooleval/internal/platform"
+	"tooleval/internal/runner"
 )
 
 // StandardSizes are the message sizes of Table 3 and Figures 2-3, in
@@ -47,41 +55,43 @@ func PingPong(pf platform.Platform, toolName string, sizes []int) ([]float64, er
 	if err != nil {
 		return nil, err
 	}
-	out := make([]float64, 0, len(sizes))
-	for _, size := range sizes {
-		payload := testPayload(size)
-		res, err := mpt.Run(pf, factory, mpt.RunConfig{Procs: 2}, func(c *mpt.Ctx) (any, error) {
-			const tag = 1
-			if c.Rank() == 0 {
-				t0 := c.Now()
-				if err := c.Comm.Send(1, tag, payload); err != nil {
-					return nil, err
+	r := runner.Default()
+	return runner.Collect(r, sizes, func(size int) (float64, error) {
+		key := runner.Key{Platform: pf.Key, Tool: toolName, Bench: "pingpong", Procs: 2, Size: size}
+		return r.Memo(key, func() (float64, error) {
+			payload := testPayload(size)
+			res, err := mpt.Run(pf, factory, mpt.RunConfig{Procs: 2}, func(c *mpt.Ctx) (any, error) {
+				const tag = 1
+				if c.Rank() == 0 {
+					t0 := c.Now()
+					if err := c.Comm.Send(1, tag, payload); err != nil {
+						return nil, err
+					}
+					msg, err := c.Comm.Recv(1, tag)
+					if err != nil {
+						return nil, err
+					}
+					if len(msg.Data) != size {
+						return nil, fmt.Errorf("echo returned %d bytes, want %d", len(msg.Data), size)
+					}
+					return (c.Now() - t0).Milliseconds(), nil
 				}
-				msg, err := c.Comm.Recv(1, tag)
+				msg, err := c.Comm.Recv(0, tag)
 				if err != nil {
 					return nil, err
 				}
-				if len(msg.Data) != size {
-					return nil, fmt.Errorf("echo returned %d bytes, want %d", len(msg.Data), size)
-				}
-				return (c.Now() - t0).Milliseconds(), nil
-			}
-			msg, err := c.Comm.Recv(0, tag)
+				return nil, c.Comm.Send(0, tag, msg.Data)
+			})
 			if err != nil {
-				return nil, err
+				return 0, fmt.Errorf("ping-pong %s/%s size %d: %w", pf.Key, toolName, size, err)
 			}
-			return nil, c.Comm.Send(0, tag, msg.Data)
+			ms, ok := res.Value.(float64)
+			if !ok {
+				return 0, fmt.Errorf("ping-pong %s/%s: no timing value", pf.Key, toolName)
+			}
+			return ms, nil
 		})
-		if err != nil {
-			return nil, fmt.Errorf("ping-pong %s/%s size %d: %w", pf.Key, toolName, size, err)
-		}
-		ms, ok := res.Value.(float64)
-		if !ok {
-			return nil, fmt.Errorf("ping-pong %s/%s: no timing value", pf.Key, toolName)
-		}
-		out = append(out, ms)
-	}
-	return out, nil
+	})
 }
 
 // Broadcast measures the collective broadcast of Figure 2: rank 0's data
@@ -92,29 +102,31 @@ func Broadcast(pf platform.Platform, toolName string, procs int, sizes []int) ([
 	if err != nil {
 		return nil, err
 	}
-	out := make([]float64, 0, len(sizes))
-	for _, size := range sizes {
-		payload := testPayload(size)
-		res, err := mpt.Run(pf, factory, mpt.RunConfig{Procs: procs}, func(c *mpt.Ctx) (any, error) {
-			var in []byte
-			if c.Rank() == 0 {
-				in = payload
-			}
-			got, err := c.Comm.Bcast(0, 2, in)
+	r := runner.Default()
+	return runner.Collect(r, sizes, func(size int) (float64, error) {
+		key := runner.Key{Platform: pf.Key, Tool: toolName, Bench: "broadcast", Procs: procs, Size: size}
+		return r.Memo(key, func() (float64, error) {
+			payload := testPayload(size)
+			res, err := mpt.Run(pf, factory, mpt.RunConfig{Procs: procs}, func(c *mpt.Ctx) (any, error) {
+				var in []byte
+				if c.Rank() == 0 {
+					in = payload
+				}
+				got, err := c.Comm.Bcast(0, 2, in)
+				if err != nil {
+					return nil, err
+				}
+				if len(got) != size {
+					return nil, fmt.Errorf("bcast delivered %d bytes, want %d", len(got), size)
+				}
+				return nil, nil
+			})
 			if err != nil {
-				return nil, err
+				return 0, fmt.Errorf("broadcast %s/%s size %d: %w", pf.Key, toolName, size, err)
 			}
-			if len(got) != size {
-				return nil, fmt.Errorf("bcast delivered %d bytes, want %d", len(got), size)
-			}
-			return nil, nil
+			return float64(res.Elapsed) / float64(time.Millisecond), nil
 		})
-		if err != nil {
-			return nil, fmt.Errorf("broadcast %s/%s size %d: %w", pf.Key, toolName, size, err)
-		}
-		out = append(out, float64(res.Elapsed)/float64(time.Millisecond))
-	}
-	return out, nil
+	})
 }
 
 // Ring measures the loop benchmark of Figure 3 ("all nodes send and
@@ -128,31 +140,33 @@ func Ring(pf platform.Platform, toolName string, procs int, sizes []int) ([]floa
 	if err != nil {
 		return nil, err
 	}
-	out := make([]float64, 0, len(sizes))
-	for _, size := range sizes {
-		payload := testPayload(size)
-		res, err := mpt.Run(pf, factory, mpt.RunConfig{Procs: procs}, func(c *mpt.Ctx) (any, error) {
-			const tag = 3
-			next := (c.Rank() + 1) % c.Size()
-			prev := (c.Rank() + c.Size() - 1) % c.Size()
-			if err := c.Comm.Send(next, tag, payload); err != nil {
-				return nil, err
-			}
-			msg, err := c.Comm.Recv(prev, tag)
+	r := runner.Default()
+	return runner.Collect(r, sizes, func(size int) (float64, error) {
+		key := runner.Key{Platform: pf.Key, Tool: toolName, Bench: "ring", Procs: procs, Size: size}
+		return r.Memo(key, func() (float64, error) {
+			payload := testPayload(size)
+			res, err := mpt.Run(pf, factory, mpt.RunConfig{Procs: procs}, func(c *mpt.Ctx) (any, error) {
+				const tag = 3
+				next := (c.Rank() + 1) % c.Size()
+				prev := (c.Rank() + c.Size() - 1) % c.Size()
+				if err := c.Comm.Send(next, tag, payload); err != nil {
+					return nil, err
+				}
+				msg, err := c.Comm.Recv(prev, tag)
+				if err != nil {
+					return nil, err
+				}
+				if len(msg.Data) != size {
+					return nil, fmt.Errorf("ring returned %d bytes, want %d", len(msg.Data), size)
+				}
+				return nil, nil
+			})
 			if err != nil {
-				return nil, err
+				return 0, fmt.Errorf("ring %s/%s size %d: %w", pf.Key, toolName, size, err)
 			}
-			if len(msg.Data) != size {
-				return nil, fmt.Errorf("ring returned %d bytes, want %d", len(msg.Data), size)
-			}
-			return nil, nil
+			return float64(res.Elapsed) / float64(time.Millisecond), nil
 		})
-		if err != nil {
-			return nil, fmt.Errorf("ring %s/%s size %d: %w", pf.Key, toolName, size, err)
-		}
-		out = append(out, float64(res.Elapsed)/float64(time.Millisecond))
-	}
-	return out, nil
+	})
 }
 
 // GlobalSum measures Figure 4's benchmark: the element-wise global sum of
@@ -163,29 +177,30 @@ func GlobalSum(pf platform.Platform, toolName string, procs int, vectorLens []in
 	if err != nil {
 		return nil, err
 	}
-	out := make([]float64, 0, len(vectorLens))
-	for _, n := range vectorLens {
-		n := n
-		res, err := mpt.Run(pf, factory, mpt.RunConfig{Procs: procs}, func(c *mpt.Ctx) (any, error) {
-			vec := make([]int64, n)
-			for i := range vec {
-				vec[i] = int64(c.Rank() + i)
-			}
-			sum, err := c.Comm.GlobalSumInt64(vec)
+	r := runner.Default()
+	return runner.Collect(r, vectorLens, func(n int) (float64, error) {
+		key := runner.Key{Platform: pf.Key, Tool: toolName, Bench: "globalsum", Procs: procs, Size: n}
+		return r.Memo(key, func() (float64, error) {
+			res, err := mpt.Run(pf, factory, mpt.RunConfig{Procs: procs}, func(c *mpt.Ctx) (any, error) {
+				vec := make([]int64, n)
+				for i := range vec {
+					vec[i] = int64(c.Rank() + i)
+				}
+				sum, err := c.Comm.GlobalSumInt64(vec)
+				if err != nil {
+					return nil, err
+				}
+				if len(sum) != n {
+					return nil, fmt.Errorf("global sum returned %d elements, want %d", len(sum), n)
+				}
+				return nil, nil
+			})
 			if err != nil {
-				return nil, err
+				return 0, fmt.Errorf("global sum %s/%s n=%d: %w", pf.Key, toolName, n, err)
 			}
-			if len(sum) != n {
-				return nil, fmt.Errorf("global sum returned %d elements, want %d", len(sum), n)
-			}
-			return nil, nil
+			return float64(res.Elapsed) / float64(time.Millisecond), nil
 		})
-		if err != nil {
-			return nil, fmt.Errorf("global sum %s/%s n=%d: %w", pf.Key, toolName, n, err)
-		}
-		out = append(out, float64(res.Elapsed)/float64(time.Millisecond))
-	}
-	return out, nil
+	})
 }
 
 // testPayload builds a deterministic payload of the given size.

@@ -1,0 +1,115 @@
+package mpt_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"tooleval/internal/mpt"
+	"tooleval/internal/mpt/tools"
+	"tooleval/internal/platform"
+)
+
+// TestConcurrentRunsShareNoState drives many complete simulations at
+// once from independent goroutines — every tool, several platforms,
+// several rank counts — and checks each against the result of the same
+// cell computed serially. Each mpt.Run builds its own engine, network
+// and tool instance; under -race this test is the proof that nothing
+// (engine state, tool daemons, rank mailboxes, catalog tables) leaks
+// between concurrent simulations, which is what lets the experiment
+// scheduler fan cells out safely.
+func TestConcurrentRunsShareNoState(t *testing.T) {
+	type cell struct {
+		platformKey string
+		tool        string
+		procs       int
+	}
+	var cells []cell
+	for _, key := range []string{"sun-ethernet", "sun-atm-wan", "sp1-switch"} {
+		pf, err := platform.Get(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tool := range tools.Names() {
+			if !pf.Supports(tool) {
+				continue
+			}
+			for _, procs := range []int{2, 4} {
+				cells = append(cells, cell{platformKey: key, tool: tool, procs: procs})
+			}
+		}
+	}
+
+	runCell := func(c cell) (float64, error) {
+		pf, err := platform.Get(c.platformKey)
+		if err != nil {
+			return 0, err
+		}
+		factory, err := tools.Factory(c.tool)
+		if err != nil {
+			return 0, err
+		}
+		payload := make([]byte, 2048)
+		for i := range payload {
+			payload[i] = byte(i)
+		}
+		res, err := mpt.Run(pf, factory, mpt.RunConfig{Procs: c.procs}, func(ctx *mpt.Ctx) (any, error) {
+			const tag = 9
+			next := (ctx.Rank() + 1) % ctx.Size()
+			prev := (ctx.Rank() + ctx.Size() - 1) % ctx.Size()
+			if err := ctx.Comm.Send(next, tag, payload); err != nil {
+				return nil, err
+			}
+			msg, err := ctx.Comm.Recv(prev, tag)
+			if err != nil {
+				return nil, err
+			}
+			if len(msg.Data) != len(payload) {
+				return nil, fmt.Errorf("got %d bytes, want %d", len(msg.Data), len(payload))
+			}
+			return nil, nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		return res.Elapsed.Seconds(), nil
+	}
+
+	// Serial reference pass.
+	want := make([]float64, len(cells))
+	for i, c := range cells {
+		v, err := runCell(c)
+		if err != nil {
+			t.Fatalf("serial %s/%s/%d: %v", c.platformKey, c.tool, c.procs, err)
+		}
+		want[i] = v
+	}
+
+	// Concurrent pass: every cell three times over, all at once.
+	const replicas = 3
+	var wg sync.WaitGroup
+	errs := make([]error, len(cells)*replicas)
+	got := make([]float64, len(cells)*replicas)
+	for rep := 0; rep < replicas; rep++ {
+		for i := range cells {
+			wg.Add(1)
+			go func(rep, i int) {
+				defer wg.Done()
+				got[rep*len(cells)+i], errs[rep*len(cells)+i] = runCell(cells[i])
+			}(rep, i)
+		}
+	}
+	wg.Wait()
+	for rep := 0; rep < replicas; rep++ {
+		for i, c := range cells {
+			idx := rep*len(cells) + i
+			if errs[idx] != nil {
+				t.Fatalf("concurrent %s/%s/%d (replica %d): %v", c.platformKey, c.tool, c.procs, rep, errs[idx])
+			}
+			if got[idx] != want[i] {
+				t.Fatalf("concurrent %s/%s/%d (replica %d) = %v, serial reference = %v — simulations share state",
+					c.platformKey, c.tool, c.procs, rep, got[idx], want[i])
+			}
+		}
+	}
+}

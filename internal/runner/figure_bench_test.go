@@ -1,0 +1,53 @@
+// Serial-vs-parallel benchmarks of a real TPL figure. They live in an
+// external test package so they can drive internal/bench (which itself
+// builds on runner) without an import cycle. Each iteration installs a
+// fresh runner — and with it an empty memoization cache — so the
+// benchmark times real simulations, not cache replay.
+package runner_test
+
+import (
+	"testing"
+
+	"tooleval/internal/bench"
+	"tooleval/internal/runner"
+)
+
+func benchmarkFig2(b *testing.B, workers int) {
+	old := runner.Default()
+	defer runner.SetDefault(old)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		runner.SetDefault(runner.New(workers))
+		fig, err := bench.Fig2(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(fig.Series) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func BenchmarkFig2Serial(b *testing.B)    { benchmarkFig2(b, 1) }
+func BenchmarkFig2Parallel2(b *testing.B) { benchmarkFig2(b, 2) }
+func BenchmarkFig2Parallel4(b *testing.B) { benchmarkFig2(b, 4) }
+func BenchmarkFig2Parallel8(b *testing.B) { benchmarkFig2(b, 8) }
+
+// BenchmarkFig2Memoized measures the cache-replay path: everything
+// after the first iteration is pure hits, so this is the cost of
+// serving a whole figure from the memoization cache.
+func BenchmarkFig2Memoized(b *testing.B) {
+	old := runner.Default()
+	defer runner.SetDefault(old)
+	runner.SetDefault(runner.New(4))
+	if _, err := bench.Fig2(4); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig2(4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+// Package runner is the concurrent experiment scheduler behind the
+// benchmark harness. The paper's methodology is a fixed matrix of
+// experiments — platforms × tools × message sizes (TPL) or processor
+// counts (APL) — and every cell of that matrix is one independent,
+// deterministic virtual-time simulation (one mpt.Run). The runner
+// exploits both properties:
+//
+//   - Independence: cells fan out over a bounded worker pool (the -j
+//     flag of cmd/toolbench; default GOMAXPROCS). Map preserves the
+//     caller's index order, so after the fan-out the assembled results
+//     are bit-identical to a serial sweep. Workers == 1 degenerates to
+//     the plain serial loop with no goroutines at all.
+//
+//   - Determinism: a cell's result is a pure function of its content
+//     key (platform, tool, benchmark, procs, size/scale), so results
+//     are memoized. Re-running a cell — e.g. `toolbench all` computing
+//     Figure 2 and the closing report needing the same curves for the
+//     methodology input — is a cache hit and simulates exactly once.
+//     Concurrent requests for the same in-flight cell coalesce
+//     (single-flight) rather than duplicating the simulation.
+//
+// Stats exposes the hit/miss counters so callers (and tests) can assert
+// that a sweep performed no redundant simulation.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Key identifies one experiment cell: one simulated run in the paper's
+// evaluation matrix. Two cells with equal keys are the same simulation
+// and therefore — virtual time being deterministic — have equal
+// results. The zero value of unused fields participates in equality, so
+// benchmarks that have no Size (APL sweeps) or no Scale (TPL
+// micro-benchmarks) simply leave them zero.
+type Key struct {
+	// Platform is the platform catalog key ("sun-ethernet", ...).
+	Platform string
+	// Tool is the message-passing tool ("p4", "pvm", "express").
+	Tool string
+	// Bench names the benchmark or application ("pingpong", "ring",
+	// "apl/jpeg", ...).
+	Bench string
+	// Procs is the rank count of the cell.
+	Procs int
+	// Size is the message size in bytes (TPL) or vector length
+	// (global sum); zero for APL cells.
+	Size int
+	// Scale is the APL workload scale; zero for TPL cells.
+	Scale float64
+}
+
+func (k Key) String() string {
+	return fmt.Sprintf("%s/%s/%s procs=%d size=%d scale=%g", k.Platform, k.Tool, k.Bench, k.Procs, k.Size, k.Scale)
+}
+
+// Stats counts cache traffic. Misses is exactly the number of
+// simulations executed through Memo.
+type Stats struct {
+	Hits   int64 // served from cache, or coalesced onto an in-flight compute
+	Misses int64 // computed by this call
+}
+
+// entry is one memoized cell. done is closed once val/err are final, so
+// latecomers for an in-flight cell block instead of re-simulating.
+type entry struct {
+	done chan struct{}
+	val  float64
+	err  error
+}
+
+// Runner schedules experiment cells over a bounded pool and memoizes
+// their results. The zero value is not usable; call New.
+type Runner struct {
+	workers int
+	sem     chan struct{} // counting semaphore; one token per running cell
+
+	mu    sync.Mutex
+	cache map[Key]*entry
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// New returns a Runner executing at most workers simulations at once.
+// workers < 1 selects GOMAXPROCS.
+func New(workers int) *Runner {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{
+		workers: workers,
+		sem:     make(chan struct{}, workers),
+		cache:   make(map[Key]*entry),
+	}
+}
+
+// Workers reports the pool bound.
+func (r *Runner) Workers() int { return r.workers }
+
+// Stats snapshots the cache counters.
+func (r *Runner) Stats() Stats {
+	return Stats{Hits: r.hits.Load(), Misses: r.misses.Load()}
+}
+
+// Memo returns the memoized result for key, invoking compute (under a
+// worker-pool token) only if no completed or in-flight computation for
+// key exists. Errors are cached too: a failed cell fails the same way
+// on every retry, which is itself a deterministic fact worth keeping.
+func (r *Runner) Memo(key Key, compute func() (float64, error)) (float64, error) {
+	r.mu.Lock()
+	if e, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		r.hits.Add(1)
+		<-e.done
+		return e.val, e.err
+	}
+	e := &entry{done: make(chan struct{})}
+	r.cache[key] = e
+	r.mu.Unlock()
+
+	r.misses.Add(1)
+	r.sem <- struct{}{}
+	e.val, e.err = compute()
+	<-r.sem
+	close(e.done)
+	return e.val, e.err
+}
+
+// Map runs fn(0..n-1), fanning the indices out across goroutines while
+// the worker-pool semaphore inside Memo bounds how many simulations are
+// actually in flight. Callers write results into index i of a
+// pre-sized slice, so assembled output is ordered exactly as a serial
+// loop would produce it. The first non-nil error (lowest index among
+// the indices that ran) is returned; once any index fails, indices
+// that have not started yet are skipped, mirroring the serial loop's
+// early exit. With workers == 1 the indices run serially in order on
+// the calling goroutine — the original serial code path, not a
+// simulation of it.
+//
+// Map may nest (a figure fans out platform×tool jobs whose bodies fan
+// out sizes): only Memo's compute holds a pool token, so outer levels
+// never starve inner ones.
+func (r *Runner) Map(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if r.workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			if failed.Load() {
+				return
+			}
+			if err := fn(i); err != nil {
+				errs[i] = err
+				failed.Store(true)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Collect is the ordered fan-out idiom every experiment uses: run fn
+// over each job, assembling the results in job order. It is Map plus
+// the pre-sized result slice, so call sites cannot get the
+// ordered-assembly invariant wrong.
+func Collect[J, R any](r *Runner, jobs []J, fn func(J) (R, error)) ([]R, error) {
+	out := make([]R, len(jobs))
+	err := r.Map(len(jobs), func(i int) error {
+		var err error
+		out[i], err = fn(jobs[i])
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// The process-wide default runner. cmd/toolbench replaces it once at
+// startup from -j; the bench package routes every cell through it so
+// the memoization cache spans an entire invocation (`all` followed by
+// the report re-uses every curve).
+var defaultRunner atomic.Pointer[Runner]
+
+func init() {
+	defaultRunner.Store(New(0))
+}
+
+// Default returns the process-wide runner.
+func Default() *Runner { return defaultRunner.Load() }
+
+// SetDefault installs r as the process-wide runner (and with it a fresh
+// cache, unless r is shared). Tests use this to pin serial vs parallel
+// execution with independent caches.
+func SetDefault(r *Runner) {
+	if r == nil {
+		panic("runner: SetDefault(nil)")
+	}
+	defaultRunner.Store(r)
+}

@@ -1,0 +1,212 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMemoComputesOnce(t *testing.T) {
+	r := New(4)
+	key := Key{Platform: "sun-ethernet", Tool: "p4", Bench: "pingpong", Procs: 2, Size: 1024}
+	var calls atomic.Int64
+	for i := 0; i < 5; i++ {
+		v, err := r.Memo(key, func() (float64, error) {
+			calls.Add(1)
+			return 42.5, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != 42.5 {
+			t.Fatalf("Memo = %v, want 42.5", v)
+		}
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("compute ran %d times, want 1", got)
+	}
+	st := r.Stats()
+	if st.Misses != 1 || st.Hits != 4 {
+		t.Fatalf("Stats = %+v, want 1 miss / 4 hits", st)
+	}
+}
+
+func TestMemoSingleFlight(t *testing.T) {
+	r := New(8)
+	key := Key{Bench: "sf"}
+	var calls atomic.Int64
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := r.Memo(key, func() (float64, error) {
+				calls.Add(1)
+				<-release // hold the computation so the others must coalesce
+				return 7, nil
+			})
+			if err != nil || v != 7 {
+				t.Errorf("Memo = %v, %v", v, err)
+			}
+		}()
+	}
+	// Let the one in-flight compute finish only after all goroutines have
+	// had a chance to request the key.
+	close(release)
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("compute ran %d times under concurrent requests, want 1", got)
+	}
+}
+
+func TestMemoCachesErrors(t *testing.T) {
+	r := New(2)
+	key := Key{Bench: "boom"}
+	sentinel := errors.New("cell failed")
+	var calls int
+	for i := 0; i < 3; i++ {
+		_, err := r.Memo(key, func() (float64, error) {
+			calls++
+			return 0, sentinel
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("Memo error = %v, want %v", err, sentinel)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("failing compute ran %d times, want 1 (errors memoized)", calls)
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("j%d", workers), func(t *testing.T) {
+			r := New(workers)
+			out := make([]int, 100)
+			err := r.Map(len(out), func(i int) error {
+				out[i] = i * i
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range out {
+				if v != i*i {
+					t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+				}
+			}
+		})
+	}
+}
+
+func TestMapSerialRunsInOrder(t *testing.T) {
+	r := New(1)
+	var seen []int
+	if err := r.Map(10, func(i int) error {
+		seen = append(seen, i) // safe: workers==1 runs on the calling goroutine
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range seen {
+		if v != i {
+			t.Fatalf("serial Map visited %v, want ascending order", seen)
+		}
+	}
+}
+
+func TestMapReturnsError(t *testing.T) {
+	errLow, errHigh := errors.New("low"), errors.New("high")
+	body := func(i int) error {
+		switch i {
+		case 2:
+			return errLow
+		case 6:
+			return errHigh
+		}
+		return nil
+	}
+	// Serial mode stops at the first failing index.
+	if err := New(1).Map(8, body); !errors.Is(err, errLow) {
+		t.Fatalf("j=1: Map error = %v, want the first error", err)
+	}
+	// Parallel mode skips not-yet-started indices after a failure, so
+	// either failing index may be the one reported — but one must be.
+	err := New(4).Map(8, body)
+	if !errors.Is(err, errLow) && !errors.Is(err, errHigh) {
+		t.Fatalf("j=4: Map error = %v, want one of the injected errors", err)
+	}
+}
+
+func TestMapStopsLaunchingAfterFailure(t *testing.T) {
+	// With one worker beyond the failing goroutine, indices that start
+	// after the failure is recorded must be skipped.
+	r := New(2)
+	var ran atomic.Int64
+	boom := errors.New("boom")
+	err := r.Map(64, func(i int) error {
+		ran.Add(1)
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Map error = %v, want boom", err)
+	}
+	if got := ran.Load(); got == 64 {
+		t.Fatalf("all 64 indices ran despite every one failing — no early exit")
+	}
+}
+
+func TestMapNests(t *testing.T) {
+	// Outer Map items each run an inner Map plus a Memo'd cell; with a
+	// pool of 2 this deadlocks unless only Memo's compute holds a token.
+	r := New(2)
+	var cells atomic.Int64
+	err := r.Map(6, func(i int) error {
+		return r.Map(6, func(j int) error {
+			_, err := r.Memo(Key{Bench: "nest", Procs: i, Size: j}, func() (float64, error) {
+				cells.Add(1)
+				return float64(i * j), nil
+			})
+			return err
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cells.Load(); got != 36 {
+		t.Fatalf("ran %d cells, want 36", got)
+	}
+}
+
+func TestNewClampsWorkers(t *testing.T) {
+	for _, w := range []int{0, -3} {
+		if got := New(w).Workers(); got != runtime.GOMAXPROCS(0) {
+			t.Fatalf("New(%d).Workers() = %d, want GOMAXPROCS", w, got)
+		}
+	}
+	if got := New(7).Workers(); got != 7 {
+		t.Fatalf("New(7).Workers() = %d", got)
+	}
+}
+
+func TestDefaultSwap(t *testing.T) {
+	old := Default()
+	defer SetDefault(old)
+	r := New(3)
+	SetDefault(r)
+	if Default() != r {
+		t.Fatal("SetDefault did not install the runner")
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	k := Key{Platform: "sun-ethernet", Tool: "pvm", Bench: "ring", Procs: 4, Size: 2048}
+	want := "sun-ethernet/pvm/ring procs=4 size=2048 scale=0"
+	if got := k.String(); got != want {
+		t.Fatalf("Key.String() = %q, want %q", got, want)
+	}
+}

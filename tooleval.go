@@ -33,7 +33,7 @@ import (
 	"tooleval/internal/mpt"
 	"tooleval/internal/mpt/tools"
 	"tooleval/internal/platform"
-	"tooleval/internal/usability"
+	"tooleval/internal/runner"
 )
 
 // Re-exported core types. These aliases are the stable public surface;
@@ -186,54 +186,30 @@ func SystemManagerProfile() WeightProfile { return core.SystemManagerProfile() }
 // TPL measurements (Table 3 and Figures 2-4), the APL measurements on
 // the SUN/Ethernet platform at the given workload scale, combines them
 // with the paper's ADL matrix, and returns the weighted evaluation.
+// Every simulation routes through the experiment scheduler (see
+// SetParallelism), so cells already computed in this process — by an
+// earlier Evaluate or by the benchmark functions above — are served
+// from the memoization cache instead of re-simulated.
 func Evaluate(profile WeightProfile, scale float64) (*Evaluation, error) {
-	t3, err := bench.Table3()
-	if err != nil {
-		return nil, err
-	}
-	tpl := t3.Measurements()
-	fig2, err := bench.Fig2(4)
-	if err != nil {
-		return nil, err
-	}
-	fig3, err := bench.Fig3(4)
-	if err != nil {
-		return nil, err
-	}
-	fig4, err := bench.Fig4(4)
-	if err != nil {
-		return nil, err
-	}
-	addSeries := func(fig *bench.FigureResult, primitive string) {
-		for _, s := range fig.Series {
-			if s.Tool == "p4-NYNET" {
-				continue
-			}
-			m := PrimitiveMeasurement{Platform: s.Platform, Primitive: primitive, Tool: s.Tool}
-			for _, p := range s.Points {
-				m.Sizes = append(m.Sizes, int(p.X*1024))
-				m.TimesMs = append(m.TimesMs, p.Y)
-			}
-			tpl = append(tpl, m)
-		}
-	}
-	addSeries(fig2, "broadcast")
-	addSeries(fig3, "ring")
-	addSeries(fig4, "global sum")
+	return bench.Evaluate(profile, scale)
+}
 
-	_, apl, err := bench.APLFigure("fig8", scale)
-	if err != nil {
-		return nil, err
-	}
-	adl, err := usability.Matrix()
-	if err != nil {
-		return nil, err
-	}
-	m, err := core.New(profile)
-	if err != nil {
-		return nil, err
-	}
-	return m.Evaluate(tpl, apl, adl)
+// SetParallelism bounds how many independent simulations the experiment
+// scheduler runs at once (n < 1 selects GOMAXPROCS). It installs a
+// fresh scheduler, so the memoization cache of previously computed
+// cells is dropped. Virtual time keeps every cell deterministic, so
+// results are identical at any parallelism; n == 1 reproduces the
+// strictly serial sweep order.
+func SetParallelism(n int) {
+	runner.SetDefault(runner.New(n))
+}
+
+// SchedulerStats reports the experiment scheduler's memoization
+// counters: cells served from cache (hits) and cells actually
+// simulated (misses).
+func SchedulerStats() (hits, misses int64) {
+	st := runner.Default().Stats()
+	return st.Hits, st.Misses
 }
 
 // RenderEvaluation formats an evaluation as a text report.
