@@ -10,37 +10,46 @@
 //
 // Flags:
 //
-//	-scale f   workload scale for APL figures (default 1.0 = paper scale)
-//	-out dir   also write .txt reports and .dat series files into dir
-//	-profile p weight profile for the report (end-user, developer,
-//	           system-manager)
-//	-chart     render figures as ASCII charts instead of tables
-//	-j n       run up to n independent simulations concurrently
-//	           (default GOMAXPROCS; 1 = the serial sweep). Virtual time
-//	           keeps every cell deterministic, so output is identical
-//	           at any -j; repeated cells (e.g. `all` followed by its
-//	           closing report) are memoized and simulate once.
+//	-scale f     workload scale for APL figures (default 1.0 = paper scale)
+//	-out dir     also write .txt reports and .dat series files into dir
+//	-profile p   weight profile for the report (end-user, developer,
+//	             system-manager)
+//	-chart       render figures as ASCII charts instead of tables
+//	-format f    report rendering for `report`/`all`: text (default) or
+//	             json (the machine-readable evaluation)
+//	-j n         run up to n independent simulations concurrently
+//	             (default GOMAXPROCS; 1 = the serial sweep). Virtual time
+//	             keeps every cell deterministic, so output is identical
+//	             at any -j; repeated cells (e.g. `all` followed by its
+//	             closing report) are memoized and simulate once.
+//
+// Every invocation builds one tooleval.Session from the flags and runs
+// the experiments through it; Ctrl-C cancels the session's context and
+// aborts the sweep between simulation cells.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"sort"
+	"syscall"
 
-	"tooleval/internal/bench"
+	"tooleval"
 	"tooleval/internal/core"
-	"tooleval/internal/mpt/tools"
 	"tooleval/internal/paperdata"
-	"tooleval/internal/platform"
-	"tooleval/internal/runner"
 	"tooleval/internal/usability"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "toolbench:", err)
 		os.Exit(1)
 	}
@@ -51,16 +60,21 @@ type config struct {
 	outDir  string
 	profile string
 	chart   bool
+	format  string
 	jobs    int
 }
 
-func run(args []string, w *os.File) error {
+// experiments lists the experiment ids in paper order.
+func experiments() []string { return tooleval.Experiments() }
+
+func run(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("toolbench", flag.ContinueOnError)
 	cfg := config{}
 	fs.Float64Var(&cfg.scale, "scale", 1.0, "workload scale for APL figures (1.0 = paper scale)")
 	fs.StringVar(&cfg.outDir, "out", "", "directory for .txt/.dat artifacts (optional)")
 	fs.StringVar(&cfg.profile, "profile", "end-user", "weight profile: end-user, developer, system-manager")
 	fs.BoolVar(&cfg.chart, "chart", false, "render figures as ASCII charts instead of tables")
+	fs.StringVar(&cfg.format, "format", "text", `report rendering for report/all: "text" or "json"`)
 	fs.IntVar(&cfg.jobs, "j", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,21 +82,27 @@ func run(args []string, w *os.File) error {
 	if cfg.jobs < 1 {
 		return fmt.Errorf("-j %d: need at least one worker", cfg.jobs)
 	}
-	runner.SetDefault(runner.New(cfg.jobs))
+	if cfg.format != "text" && cfg.format != "json" {
+		return fmt.Errorf("-format %q: want text or json", cfg.format)
+	}
 	if fs.NArg() != 1 {
 		fs.Usage()
-		return fmt.Errorf("need exactly one experiment (one of %v, report, all, list)", bench.Experiments())
+		return fmt.Errorf("need exactly one experiment (one of %v, trace, report, all, list)", experiments())
 	}
 	exp := fs.Arg(0)
+	if cfg.format == "json" && exp != "report" && exp != "all" {
+		return fmt.Errorf("-format json only applies to report and all (got %q)", exp)
+	}
 	if cfg.outDir != "" {
 		if err := os.MkdirAll(cfg.outDir, 0o755); err != nil {
 			return err
 		}
 	}
+	sess := tooleval.NewSession(tooleval.WithParallelism(cfg.jobs))
 	switch exp {
 	case "list":
-		fmt.Fprintln(w, "experiments:", bench.Experiments())
-		fmt.Fprintln(w, "tools:", tools.Names())
+		fmt.Fprintln(w, "experiments:", experiments())
+		fmt.Fprintln(w, "tools:", sess.Tools())
 		fmt.Fprintln(w, "suite (Table 2):")
 		classes := make([]string, 0, len(paperdata.SuiteTable2))
 		for class := range paperdata.SuiteTable2 {
@@ -94,20 +114,27 @@ func run(args []string, w *os.File) error {
 		}
 		return nil
 	case "all":
-		for _, e := range bench.Experiments() {
-			if err := runExperiment(e, cfg, w); err != nil {
+		// With -format json the stream must stay machine-readable:
+		// experiments still run (and still write -out artifacts) but
+		// only the closing JSON report reaches w.
+		expOut := w
+		if cfg.format == "json" {
+			expOut = io.Discard
+		}
+		for _, e := range experiments() {
+			if err := runExperiment(ctx, sess, e, cfg, expOut); err != nil {
 				return err
 			}
 		}
-		return runReport(cfg, w)
+		return runReport(ctx, sess, cfg, w)
 	case "report":
-		return runReport(cfg, w)
+		return runReport(ctx, sess, cfg, w)
 	default:
-		return runExperiment(exp, cfg, w)
+		return runExperiment(ctx, sess, exp, cfg, w)
 	}
 }
 
-func runExperiment(exp string, cfg config, w *os.File) error {
+func runExperiment(ctx context.Context, sess *tooleval.Session, exp string, cfg config, w io.Writer) error {
 	emit := func(name, text string) error {
 		fmt.Fprintln(w, text)
 		if cfg.outDir == "" {
@@ -115,89 +142,70 @@ func runExperiment(exp string, cfg config, w *os.File) error {
 		}
 		return os.WriteFile(filepath.Join(cfg.outDir, name), []byte(text), 0o644)
 	}
-	emitDat := func(name string, fig *bench.FigureResult) error {
+	emitDat := func(name string, fig *tooleval.FigureResult) error {
 		if cfg.outDir == "" {
 			return nil
 		}
 		return os.WriteFile(filepath.Join(cfg.outDir, name), []byte(fig.DatFile()), 0o644)
 	}
-	render := func(fig *bench.FigureResult) string {
+	render := func(fig *tooleval.FigureResult) string {
 		if cfg.chart {
 			return fig.ASCIIChart(72, 22)
 		}
 		return fig.Render()
 	}
+	emitFig := func(fig *tooleval.FigureResult, id string) error {
+		if err := emitDat(id+".dat", fig); err != nil {
+			return err
+		}
+		return emit(id+".txt", render(fig))
+	}
 	switch exp {
-	case bench.ExpTable3:
-		t3, err := bench.Table3()
+	case "table3":
+		t3, err := sess.Table3(ctx)
 		if err != nil {
 			return err
 		}
 		return emit("table3.txt", t3.Render())
-	case bench.ExpTable4:
-		t3, err := bench.Table3()
+	case "table4":
+		rankings, err := sess.Table4(ctx, 4)
 		if err != nil {
 			return err
 		}
-		fig2, err := bench.Fig2(4)
-		if err != nil {
-			return err
-		}
-		fig3, err := bench.Fig3(4)
-		if err != nil {
-			return err
-		}
-		fig4, err := bench.Fig4(4)
-		if err != nil {
-			return err
-		}
-		rankings := bench.Table4FromMeasurements(t3, fig2, fig3, fig4)
 		text := core.RenderTable4(rankings, "sun-ethernet") + "\n" + core.RenderTable4(rankings, "sun-atm-wan")
 		return emit("table4.txt", text)
-	case bench.ExpFig2:
-		fig, err := bench.Fig2(4)
+	case "fig2":
+		fig, err := sess.Fig2(ctx, 4)
 		if err != nil {
 			return err
 		}
-		if err := emitDat("fig2.dat", fig); err != nil {
-			return err
-		}
-		return emit("fig2.txt", render(fig))
-	case bench.ExpFig3:
-		fig, err := bench.Fig3(4)
+		return emitFig(fig, exp)
+	case "fig3":
+		fig, err := sess.Fig3(ctx, 4)
 		if err != nil {
 			return err
 		}
-		if err := emitDat("fig3.dat", fig); err != nil {
-			return err
-		}
-		return emit("fig3.txt", render(fig))
-	case bench.ExpFig4:
-		fig, err := bench.Fig4(4)
+		return emitFig(fig, exp)
+	case "fig4":
+		fig, err := sess.Fig4(ctx, 4)
 		if err != nil {
 			return err
 		}
-		if err := emitDat("fig4.dat", fig); err != nil {
-			return err
-		}
-		return emit("fig4.txt", render(fig))
-	case bench.ExpFig5, bench.ExpFig6, bench.ExpFig7, bench.ExpFig8:
-		fig, _, err := bench.APLFigure(exp, cfg.scale)
+		return emitFig(fig, exp)
+	case "fig5", "fig6", "fig7", "fig8":
+		fig, _, err := sess.APLFigure(ctx, exp, cfg.scale)
 		if err != nil {
 			return err
 		}
-		if err := emitDat(exp+".dat", fig); err != nil {
-			return err
-		}
-		return emit(exp+".txt", render(fig))
+		return emitFig(fig, exp)
 	case "trace":
 		// Execution-trace demo: the ADL debugging-support criterion.
-		pf, err := platformFor("sun-ethernet")
+		pf, err := tooleval.GetPlatform("sun-ethernet")
 		if err != nil {
 			return err
 		}
-		for _, tool := range tools.Names() {
-			events, err := bench.TraceRun(pf, tool, 2048, 28)
+		for _, tool := range tooleval.ToolNames() {
+			events, err := sess.TraceRun(ctx, pf.Key, tool, 2048, 28)
 			if err != nil {
 				return err
 			}
@@ -208,12 +216,12 @@ func runExperiment(exp string, cfg config, w *os.File) error {
 			fmt.Fprintln(w)
 		}
 		return nil
-	case bench.ExpADL:
+	case "adl":
 		text, err := usability.Render()
 		if err != nil {
 			return err
 		}
-		names := tools.PrimitiveNames()
+		names := tooleval.PrimitiveNames()
 		prims := "Table 1: primitive name map\n"
 		// Map iteration order is random per process; sort so repeated
 		// runs (and -j variations) emit byte-identical output.
@@ -229,42 +237,39 @@ func runExperiment(exp string, cfg config, w *os.File) error {
 		}
 		return emit("adl.txt", prims+"\n"+text)
 	default:
-		return fmt.Errorf("unknown experiment %q (want one of %v, report, all, list)", exp, bench.Experiments())
+		return fmt.Errorf("unknown experiment %q (want one of %v, trace, report, all, list)", exp, experiments())
 	}
 }
 
-func runReport(cfg config, w *os.File) error {
-	var profile core.WeightProfile
-	found := false
-	for _, p := range core.Profiles() {
-		if p.Name == cfg.profile {
-			profile, found = p, true
-			break
-		}
+func runReport(ctx context.Context, sess *tooleval.Session, cfg config, w io.Writer) error {
+	profile, err := tooleval.ProfileByName(cfg.profile)
+	if err != nil {
+		return err
 	}
-	if !found {
-		return fmt.Errorf("unknown profile %q", cfg.profile)
-	}
-	ev, err := bench.Evaluate(profile, cfg.scale)
+	ev, err := sess.Evaluate(ctx, profile, cfg.scale)
 	if err != nil {
 		return err
 	}
 	text := core.RenderEvaluation(ev)
-	fmt.Fprintln(w, text)
+	marshal := func() ([]byte, error) { return core.MarshalReport(ev) }
+	if cfg.format == "json" {
+		blob, err := marshal()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, string(blob))
+	} else {
+		fmt.Fprintln(w, text)
+	}
 	if cfg.outDir != "" {
 		if err := os.WriteFile(filepath.Join(cfg.outDir, "report-"+profile.Name+".txt"), []byte(text), 0o644); err != nil {
 			return err
 		}
-		blob, err := core.MarshalReport(ev)
+		blob, err := marshal()
 		if err != nil {
 			return err
 		}
 		return os.WriteFile(filepath.Join(cfg.outDir, "report-"+profile.Name+".json"), blob, 0o644)
 	}
 	return nil
-}
-
-// platformFor wraps platform lookup for experiment handlers.
-func platformFor(key string) (platform.Platform, error) {
-	return platform.Get(key)
 }

@@ -1,27 +1,34 @@
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
-	"tooleval/internal/bench"
+	"tooleval"
 )
+
+// -update regenerates the golden files instead of comparing against
+// them: go test ./cmd/toolbench -run TestReportJSONGolden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+var bg = context.Background()
 
 func TestRunExperiments(t *testing.T) {
 	outDir := t.TempDir()
-	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer null.Close()
 	for _, exp := range []string{"list", "table3", "table4", "fig2", "fig3", "adl", "trace"} {
-		if err := run([]string{"-out", outDir, exp}, null); err != nil {
+		if err := run(bg, []string{"-out", outDir, exp}, io.Discard); err != nil {
 			t.Fatalf("%s: %v", exp, err)
 		}
 	}
-	if err := run([]string{"-chart", "fig2"}, null); err != nil {
+	if err := run(bg, []string{"-chart", "fig2"}, io.Discard); err != nil {
 		t.Fatalf("chart mode: %v", err)
 	}
 	// Artifacts written?
@@ -40,32 +47,31 @@ func TestRunExperiments(t *testing.T) {
 }
 
 func TestRunAPLFigureSmallScale(t *testing.T) {
-	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer null.Close()
-	if err := run([]string{"-scale", "0.1", "fig7"}, null); err != nil {
+	if err := run(bg, []string{"-scale", "0.1", "fig7"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunReport(t *testing.T) {
-	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
-	if err != nil {
+	if err := run(bg, []string{"-scale", "0.1", "-profile", "developer", "report"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
-	defer null.Close()
-	if err := run([]string{"-scale", "0.1", "-profile", "developer", "report"}, null); err != nil {
-		t.Fatal(err)
-	}
-	if err := run([]string{"-profile", "nonexistent", "report"}, null); err == nil {
+	if err := run(bg, []string{"-profile", "nonexistent", "report"}, io.Discard); err == nil {
 		t.Fatal("unknown profile should error")
 	}
 }
 
+func TestRunCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(bg)
+	cancel()
+	err := run(ctx, []string{"-scale", "0.05", "fig2"}, io.Discard)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("run under cancelled ctx = %v, want context.Canceled", err)
+	}
+}
+
 // runArgsTable drives TestRunArgs; TestExperimentIDsCovered checks it
-// stays exhaustive over bench.Experiments().
+// stays exhaustive over tooleval.Experiments().
 var runArgsTable = []struct {
 	name    string
 	args    []string
@@ -92,6 +98,11 @@ var runArgsTable = []struct {
 	{"zero -j", []string{"-j", "0", "fig2"}, true},
 	{"negative -j", []string{"-j", "-2", "fig2"}, true},
 	{"non-numeric -j", []string{"-j", "many", "fig2"}, true},
+	// Report format flag.
+	{"json report", []string{"-scale", "0.05", "-format", "json", "report"}, false},
+	{"json all", []string{"-scale", "0.05", "-format", "json", "all"}, false},
+	{"json non-report", []string{"-format", "json", "fig2"}, true},
+	{"unknown format", []string{"-format", "xml", "report"}, true},
 	// Invalid invocations.
 	{"no experiment", []string{}, true},
 	{"two experiments", []string{"fig2", "fig3"}, true},
@@ -101,14 +112,9 @@ var runArgsTable = []struct {
 }
 
 func TestRunArgs(t *testing.T) {
-	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer null.Close()
 	for _, tt := range runArgsTable {
 		t.Run(tt.name, func(t *testing.T) {
-			err := run(tt.args, null)
+			err := run(bg, tt.args, io.Discard)
 			if (err != nil) != tt.wantErr {
 				t.Errorf("run(%v) error = %v, wantErr %v", tt.args, err, tt.wantErr)
 			}
@@ -118,7 +124,7 @@ func TestRunArgs(t *testing.T) {
 
 func TestExperimentIDsCovered(t *testing.T) {
 	// Guards runArgsTable against a new experiment id silently going
-	// untested: every id bench.Experiments reports must appear as a
+	// untested: every id tooleval.Experiments reports must appear as a
 	// passing entry. Coverage is asserted statically — TestRunArgs
 	// already performs the actual dispatch.
 	covered := map[string]bool{}
@@ -127,7 +133,7 @@ func TestExperimentIDsCovered(t *testing.T) {
 			covered[tt.args[len(tt.args)-1]] = true
 		}
 	}
-	for _, exp := range bench.Experiments() {
+	for _, exp := range tooleval.Experiments() {
 		if !covered[exp] {
 			t.Errorf("experiment %q missing from runArgsTable", exp)
 		}
@@ -135,27 +141,17 @@ func TestExperimentIDsCovered(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
-	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer null.Close()
-	if err := run([]string{}, null); err == nil {
+	if err := run(bg, []string{}, io.Discard); err == nil {
 		t.Fatal("no experiment should error")
 	}
-	if err := run([]string{"fig99"}, null); err == nil {
+	if err := run(bg, []string{"fig99"}, io.Discard); err == nil {
 		t.Fatal("unknown experiment should error")
 	}
 }
 
 func TestReportWritesJSON(t *testing.T) {
 	outDir := t.TempDir()
-	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer null.Close()
-	if err := run([]string{"-scale", "0.1", "-out", outDir, "report"}, null); err != nil {
+	if err := run(bg, []string{"-scale", "0.1", "-out", outDir, "report"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	blob, err := os.ReadFile(filepath.Join(outDir, "report-end-user.json"))
@@ -164,5 +160,58 @@ func TestReportWritesJSON(t *testing.T) {
 	}
 	if !strings.Contains(string(blob), `"ranking"`) {
 		t.Fatalf("json report malformed:\n%s", blob)
+	}
+}
+
+// TestJSONAllIsMachineReadable: `-format json all` must emit nothing
+// but the closing JSON report on the output stream (the experiments
+// still run and still write their -out artifacts).
+func TestJSONAllIsMachineReadable(t *testing.T) {
+	outDir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run(bg, []string{"-scale", "0.05", "-format", "json", "-out", outDir, "all"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Profile string   `json:"profile"`
+		Ranking []string `json:"ranking"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &report); err != nil {
+		t.Fatalf("json all output is not pure JSON: %v\n%s", err, buf.Bytes())
+	}
+	if report.Profile != "end-user" || len(report.Ranking) == 0 {
+		t.Fatalf("report payload malformed: %+v", report)
+	}
+	for _, f := range []string{"table3.txt", "fig2.dat", "report-end-user.json"} {
+		if _, err := os.Stat(filepath.Join(outDir, f)); err != nil {
+			t.Fatalf("json mode must still write artifact %s: %v", f, err)
+		}
+	}
+}
+
+// TestReportJSONGolden pins the exact bytes `-format json report`
+// emits: virtual time makes the whole evaluation deterministic, so the
+// machine-readable report must never drift without a reviewed golden
+// update (-update regenerates it).
+func TestReportJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(bg, []string{"-scale", "0.1", "-format", "json", "report"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "report-end-user.golden.json")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("json report drifted from golden file.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
 	}
 }

@@ -4,12 +4,14 @@
 // requirements of future systems" (§1).
 //
 // It defines mpi-lite, a hypothetical 1996 tool with p4-style direct
-// streams plus a tree broadcast and built-in reductions, runs it through
-// the same TPL benchmarks as the built-in tools, and shows where it
-// would have landed in Table 4.
+// streams plus a tree broadcast and built-in reductions, registers it in
+// an evaluation session with WithTool, runs it through the same TPL
+// benchmarks as the built-in tools, and shows where it would have landed
+// in Table 4.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -30,8 +32,13 @@ func mpiLite(env *tooleval.Env) (mpt.Tool, error) {
 }
 
 func main() {
+	ctx := context.Background()
 	const platformKey = "sun-ethernet"
 	sizes := []int{0, 4 << 10, 16 << 10, 64 << 10}
+
+	// WithTool makes mpi-lite a first-class citizen of this session:
+	// every benchmark method resolves it by name, next to the built-ins.
+	sess := tooleval.NewSession(tooleval.WithTool("mpi-lite", mpiLite))
 
 	fmt.Println("Evaluating a custom tool (mpi-lite) against the 1995 field")
 	fmt.Printf("Platform: %s, send/receive round trip (ms)\n\n", platformKey)
@@ -43,14 +50,13 @@ func main() {
 	fmt.Println()
 
 	results := map[string][]float64{}
-	for _, tool := range tooleval.ToolNames() {
-		ms, err := tooleval.PingPong(platformKey, tool, sizes)
+	for _, tool := range names {
+		ms, err := sess.PingPong(ctx, platformKey, tool, sizes)
 		if err != nil {
 			log.Fatal(err)
 		}
 		results[tool] = ms
 	}
-	results["mpi-lite"] = customPingPong(platformKey, sizes)
 
 	for i, size := range sizes {
 		fmt.Printf("%-10d", size/1024)
@@ -63,34 +69,4 @@ func main() {
 	fmt.Println("\nmpi-lite inherits p4's transport but trims the per-call software")
 	fmt.Println("path — exactly the kind of 'requirement for future systems' the")
 	fmt.Println("methodology was built to expose. A year later, MPI did just that.")
-}
-
-func customPingPong(platformKey string, sizes []int) []float64 {
-	out := make([]float64, 0, len(sizes))
-	for _, size := range sizes {
-		payload := make([]byte, size)
-		res, err := tooleval.RunWithFactory(platformKey, mpiLite, tooleval.RunConfig{Procs: 2}, func(c *tooleval.Ctx) (any, error) {
-			const tag = 1
-			if c.Rank() == 0 {
-				t0 := c.Now()
-				if err := c.Comm.Send(1, tag, payload); err != nil {
-					return nil, err
-				}
-				if _, err := c.Comm.Recv(1, tag); err != nil {
-					return nil, err
-				}
-				return (c.Now() - t0).Milliseconds(), nil
-			}
-			msg, err := c.Comm.Recv(0, tag)
-			if err != nil {
-				return nil, err
-			}
-			return nil, c.Comm.Send(0, tag, msg.Data)
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		out = append(out, res.Value.(float64))
-	}
-	return out
 }

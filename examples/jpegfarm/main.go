@@ -3,9 +3,14 @@
 // processor counts on two platforms and shows where each tool's
 // communication overhead starts to eat the speedup — the §3.3
 // "distribution, computation, collection" pipeline in action.
+//
+// The whole sweep is declared as data and handed to Session.Submit in
+// one call per platform: every tool×procs cell fans out across the
+// session's worker pool, and the results come back in spec order.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,16 +18,40 @@ import (
 )
 
 func main() {
-	// Scale 0.5 keeps the demo quick; pass 1.0 logic through RunApp for
-	// the full 512x512 paper workload.
+	ctx := context.Background()
+	// Scale 0.5 keeps the demo quick; pass 1.0 for the full 512x512
+	// paper workload.
 	const scale = 0.5
 	procs := []int{1, 2, 4, 8}
+
+	sess := tooleval.NewSession()
 
 	for _, platformKey := range []string{"alpha-fddi", "sun-ethernet"} {
 		pf, err := tooleval.GetPlatform(platformKey)
 		if err != nil {
 			log.Fatal(err)
 		}
+
+		// Declare the platform's sweep: one spec per tool with a port.
+		var specs []tooleval.ExperimentSpec
+		for _, tool := range sess.Tools() {
+			if !pf.Supports(tool) {
+				continue
+			}
+			specs = append(specs, tooleval.ExperimentSpec{
+				Kind:      tooleval.KindApp,
+				Platform:  platformKey,
+				Tool:      tool,
+				App:       "jpeg",
+				ProcsList: procs,
+				Scale:     scale,
+			})
+		}
+		results, err := sess.Submit(ctx, specs)
+		if err != nil {
+			log.Fatal(err)
+		}
+
 		fmt.Printf("=== JPEG compression farm on %s ===\n", pf.Name)
 		fmt.Printf("%-10s", "procs")
 		for _, p := range procs {
@@ -33,22 +62,16 @@ func main() {
 			tool string
 			secs float64
 		}{}
-		for _, tool := range tooleval.ToolNames() {
-			if !pf.Supports(tool) {
-				continue
-			}
-			m, err := tooleval.RunApp(platformKey, tool, "jpeg", procs, scale)
-			if err != nil {
-				log.Fatalf("%s on %s: %v", tool, platformKey, err)
-			}
-			fmt.Printf("%-10s", tool)
+		for _, res := range results {
+			m := res.App
+			fmt.Printf("%-10s", m.Tool)
 			for i, p := range m.Procs {
 				fmt.Printf(" %9.3f", m.Seconds[i])
 				if b, ok := best[p]; !ok || m.Seconds[i] < b.secs {
 					best[p] = struct {
 						tool string
 						secs float64
-					}{tool, m.Seconds[i]}
+					}{m.Tool, m.Seconds[i]}
 				}
 			}
 			fmt.Println()

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,6 +13,11 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+	// One session: the three evaluations share its memoization cache,
+	// so the TPL/APL simulations run once and every profile re-weights
+	// the same cells.
+	sess := tooleval.NewSession()
 	fmt.Println("Multi-level evaluation of Express, p4 and PVM (1995)")
 	fmt.Println("Same measurements, three points of view:")
 	fmt.Println()
@@ -19,7 +25,7 @@ func main() {
 	// scale 0.3 keeps the APL sweep quick; pass 1.0 for paper scale.
 	const scale = 0.3
 	for _, profile := range tooleval.Profiles() {
-		ev, err := tooleval.Evaluate(profile, scale)
+		ev, err := sess.Evaluate(ctx, profile, scale)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -27,6 +33,8 @@ func main() {
 		fmt.Printf("=> %s's pick: %s\n\n", profile.Name, ev.Ranking[0])
 	}
 
+	hits, misses := sess.Stats()
+	fmt.Printf("(scheduler: %d cells simulated, %d served from the session cache)\n\n", misses, hits)
 	fmt.Println("p4 dominates both performance levels; PVM owns the development")
 	fmt.Println("level (its WS-heavy usability column). Change the weights, change")
 	fmt.Println("the story — which is exactly why the methodology is multi-level.")

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,6 +12,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+	sess := tooleval.NewSession() // owns its scheduler, cache, and stats
 	const platformKey = "sun-ethernet"
 	pf, err := tooleval.GetPlatform(platformKey)
 	if err != nil {
@@ -36,8 +39,8 @@ func main() {
 	}
 
 	fmt.Printf("%-10s %-14s %-12s\n", "tool", "virtual time", "result")
-	for _, tool := range tooleval.ToolNames() {
-		res, err := tooleval.Run(platformKey, tool, tooleval.RunConfig{Procs: 4}, body)
+	for _, tool := range sess.Tools() {
+		res, err := sess.Run(ctx, platformKey, tool, tooleval.RunConfig{Procs: 4}, body)
 		if err != nil {
 			log.Fatalf("%s: %v", tool, err)
 		}

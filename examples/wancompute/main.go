@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,6 +14,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+	sess := tooleval.NewSession()
 	const scale = 0.5
 	procs := []int{1, 2, 4} // NYNET sweeps 1-4 in the paper (Fig 7)
 
@@ -22,11 +25,11 @@ func main() {
 	wanWins := 0
 	total := 0
 	for _, app := range []string{"jpeg", "montecarlo", "psrs"} {
-		eth, err := tooleval.RunApp("sun-ethernet", "p4", app, procs, scale)
+		eth, err := sess.RunApp(ctx, "sun-ethernet", "p4", app, procs, scale)
 		if err != nil {
 			log.Fatal(err)
 		}
-		wan, err := tooleval.RunApp("sun-atm-wan", "p4", app, procs, scale)
+		wan, err := sess.RunApp(ctx, "sun-atm-wan", "p4", app, procs, scale)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -47,11 +50,11 @@ func main() {
 
 	// The latency side of the story: short-message round trips still pay
 	// the ~600us propagation to Rome and back.
-	lan, err := tooleval.PingPong("sun-atm-lan", "p4", []int{0})
+	lan, err := sess.PingPong(ctx, "sun-atm-lan", "p4", []int{0})
 	if err != nil {
 		log.Fatal(err)
 	}
-	wan, err := tooleval.PingPong("sun-atm-wan", "p4", []int{0})
+	wan, err := sess.PingPong(ctx, "sun-atm-wan", "p4", []int{0})
 	if err != nil {
 		log.Fatal(err)
 	}

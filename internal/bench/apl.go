@@ -1,11 +1,11 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"tooleval/internal/apps"
 	"tooleval/internal/mpt"
-	"tooleval/internal/mpt/tools"
 	"tooleval/internal/platform"
 	"tooleval/internal/runner"
 )
@@ -38,16 +38,16 @@ func ProcSweep(pf platform.Platform, app apps.App) []int {
 // an error, not a number. Each sweep point is an independent cell: the
 // runner fans them out and memoizes them by (platform, tool, app,
 // procs, scale).
-func RunAPL(pf platform.Platform, toolName, appName string, procsList []int, scale float64) (APLSeries, error) {
+func (h *Harness) RunAPL(ctx context.Context, pf platform.Platform, toolName, appName string, procsList []int, scale float64) (APLSeries, error) {
 	s := APLSeries{App: appName, Platform: pf.Key, Tool: toolName}
-	if !pf.Supports(toolName) {
-		return s, fmt.Errorf("bench: %s has no %s port (paper §3.1)", pf.Name, toolName)
+	if err := h.requirePort(pf, toolName); err != nil {
+		return s, err
 	}
 	app, err := apps.Get(appName)
 	if err != nil {
 		return s, err
 	}
-	factory, err := tools.Factory(toolName)
+	factory, err := h.FactoryFor(toolName)
 	if err != nil {
 		return s, err
 	}
@@ -57,10 +57,9 @@ func RunAPL(pf platform.Platform, toolName, appName string, procsList []int, sca
 			sweep = append(sweep, procs)
 		}
 	}
-	r := runner.Default()
-	times, err := runner.Collect(r, sweep, func(procs int) (float64, error) {
+	times, err := runner.Collect(ctx, h.r, sweep, func(procs int) (float64, error) {
 		key := runner.Key{Platform: pf.Key, Tool: toolName, Bench: "apl/" + appName, Procs: procs, Scale: scale}
-		return r.Memo(key, func() (float64, error) {
+		return h.r.Memo(ctx, key, func() (float64, error) {
 			res, err := mpt.Run(pf, factory, mpt.RunConfig{Procs: procs}, func(c *mpt.Ctx) (any, error) {
 				return app.Run(c, scale)
 			})

@@ -46,7 +46,7 @@ func TestASCIIChartMinimumDimensions(t *testing.T) {
 }
 
 func TestASCIIChartRealFigure(t *testing.T) {
-	fig, err := Fig3(4)
+	fig, err := sharedH.Fig3(bgCtx, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

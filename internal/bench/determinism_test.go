@@ -9,19 +9,7 @@ import (
 	"tooleval/internal/mpt"
 	"tooleval/internal/mpt/tools"
 	"tooleval/internal/platform"
-	"tooleval/internal/runner"
 )
-
-// withRunner runs fn with a fresh default runner of the given width, so
-// each invocation starts from an empty memoization cache (a shared
-// cache would let the second sweep trivially replay the first).
-func withRunner(t *testing.T, workers int, fn func()) {
-	t.Helper()
-	old := runner.Default()
-	runner.SetDefault(runner.New(workers))
-	defer runner.SetDefault(old)
-	fn()
-}
 
 // TestTPLDeterministicUnderParallelism is the core determinism
 // guarantee of the scheduler: for every tool on every platform that
@@ -29,25 +17,26 @@ func withRunner(t *testing.T, workers int, fn func()) {
 // the cells run strictly serially (-j 1) or fanned out over four
 // workers. Virtual time makes each cell a pure function of its key;
 // this test proves the fan-out neither perturbs the simulations nor
-// reorders their assembly.
+// reorders their assembly. Each harness starts from an empty cache (a
+// shared cache would let the second sweep trivially replay the first).
 func TestTPLDeterministicUnderParallelism(t *testing.T) {
 	sizes := []int{0, 1 << 10, 4 << 10}
 	vecs := []int{100, 1000}
 	benches := []struct {
 		name string
-		run  func(pf platform.Platform, tool string, procs int) ([]float64, error)
+		run  func(h *Harness, pf platform.Platform, tool string, procs int) ([]float64, error)
 	}{
-		{"PingPong", func(pf platform.Platform, tool string, _ int) ([]float64, error) {
-			return PingPong(pf, tool, sizes)
+		{"PingPong", func(h *Harness, pf platform.Platform, tool string, _ int) ([]float64, error) {
+			return h.PingPong(bgCtx, pf, tool, sizes)
 		}},
-		{"Broadcast", func(pf platform.Platform, tool string, procs int) ([]float64, error) {
-			return Broadcast(pf, tool, procs, sizes)
+		{"Broadcast", func(h *Harness, pf platform.Platform, tool string, procs int) ([]float64, error) {
+			return h.Broadcast(bgCtx, pf, tool, procs, sizes)
 		}},
-		{"Ring", func(pf platform.Platform, tool string, procs int) ([]float64, error) {
-			return Ring(pf, tool, procs, sizes)
+		{"Ring", func(h *Harness, pf platform.Platform, tool string, procs int) ([]float64, error) {
+			return h.Ring(bgCtx, pf, tool, procs, sizes)
 		}},
-		{"GlobalSum", func(pf platform.Platform, tool string, procs int) ([]float64, error) {
-			return GlobalSum(pf, tool, procs, vecs)
+		{"GlobalSum", func(h *Harness, pf platform.Platform, tool string, procs int) ([]float64, error) {
+			return h.GlobalSum(bgCtx, pf, tool, procs, vecs)
 		}},
 	}
 	for _, pf := range platform.All() {
@@ -64,10 +53,8 @@ func TestTPLDeterministicUnderParallelism(t *testing.T) {
 				pf := pf
 				tool := tool
 				t.Run(fmt.Sprintf("%s/%s/%s", bm.name, pf.Key, tool), func(t *testing.T) {
-					var serial, par []float64
-					var serialErr, parErr error
-					withRunner(t, 1, func() { serial, serialErr = bm.run(pf, tool, procs) })
-					withRunner(t, 4, func() { par, parErr = bm.run(pf, tool, procs) })
+					serial, serialErr := bm.run(freshHarness(1), pf, tool, procs)
+					par, parErr := bm.run(freshHarness(4), pf, tool, procs)
 					if (serialErr == nil) != (parErr == nil) {
 						t.Fatalf("error mismatch: serial=%v parallel=%v", serialErr, parErr)
 					}
@@ -106,10 +93,8 @@ func TestAPLDeterministicUnderParallelism(t *testing.T) {
 	for _, tool := range tools.Names() {
 		tool := tool
 		t.Run(tool, func(t *testing.T) {
-			var serial, par APLSeries
-			var serialErr, parErr error
-			withRunner(t, 1, func() { serial, serialErr = RunAPL(pf, tool, "montecarlo", procs, scale) })
-			withRunner(t, 4, func() { par, parErr = RunAPL(pf, tool, "montecarlo", procs, scale) })
+			serial, serialErr := freshHarness(1).RunAPL(bgCtx, pf, tool, "montecarlo", procs, scale)
+			par, parErr := freshHarness(4).RunAPL(bgCtx, pf, tool, "montecarlo", procs, scale)
 			if serialErr != nil || parErr != nil {
 				t.Fatalf("errors: serial=%v parallel=%v", serialErr, parErr)
 			}
@@ -132,68 +117,66 @@ func TestAPLDeterministicUnderParallelism(t *testing.T) {
 // zero additional simulations (cache misses).
 func TestEvaluateMemoizesAcrossSweeps(t *testing.T) {
 	const scale = 0.05
-	withRunner(t, 4, func() {
-		// The sweep `toolbench all` performs: the TPL tables/figures and
-		// the APL figure the report consumes.
-		if _, err := Table3(); err != nil {
-			t.Fatal(err)
-		}
-		if _, err := Fig2(4); err != nil {
-			t.Fatal(err)
-		}
-		if _, err := Fig3(4); err != nil {
-			t.Fatal(err)
-		}
-		if _, err := Fig4(4); err != nil {
-			t.Fatal(err)
-		}
-		if _, _, err := APLFigure(ExpFig8, scale); err != nil {
-			t.Fatal(err)
-		}
-		after := runner.Default().Stats()
-		if after.Misses == 0 {
-			t.Fatal("sweep simulated nothing — stats wiring broken")
-		}
+	h := freshHarness(4)
+	// The sweep `toolbench all` performs: the TPL tables/figures and
+	// the APL figure the report consumes.
+	if _, err := h.Table3(bgCtx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Fig2(bgCtx, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Fig3(bgCtx, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Fig4(bgCtx, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := h.APLFigure(bgCtx, ExpFig8, scale); err != nil {
+		t.Fatal(err)
+	}
+	after := h.Runner().Stats()
+	if after.Misses == 0 {
+		t.Fatal("sweep simulated nothing — stats wiring broken")
+	}
 
-		// The closing report re-derives every curve; each cell must hit.
-		if _, err := Evaluate(core.EndUserProfile(), scale); err != nil {
-			t.Fatal(err)
-		}
-		final := runner.Default().Stats()
-		if final.Misses != after.Misses {
-			t.Fatalf("Evaluate re-simulated %d cells that were already cached", final.Misses-after.Misses)
-		}
-		if final.Hits <= after.Hits {
-			t.Fatalf("Evaluate hit no cached cells (hits %d -> %d)", after.Hits, final.Hits)
-		}
-	})
+	// The closing report re-derives every curve; each cell must hit.
+	if _, err := h.Evaluate(bgCtx, core.EndUserProfile(), scale); err != nil {
+		t.Fatal(err)
+	}
+	final := h.Runner().Stats()
+	if final.Misses != after.Misses {
+		t.Fatalf("Evaluate re-simulated %d cells that were already cached", final.Misses-after.Misses)
+	}
+	if final.Hits <= after.Hits {
+		t.Fatalf("Evaluate hit no cached cells (hits %d -> %d)", after.Hits, final.Hits)
+	}
 }
 
 // TestRepeatedFigureSimulatesOnce is the narrow version of the same
 // property: regenerating one figure twice must not add a single miss.
 func TestRepeatedFigureSimulatesOnce(t *testing.T) {
-	withRunner(t, 4, func() {
-		first, err := Fig2(4)
-		if err != nil {
-			t.Fatal(err)
-		}
-		misses := runner.Default().Stats().Misses
-		second, err := Fig2(4)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if got := runner.Default().Stats().Misses; got != misses {
-			t.Fatalf("second Fig2 simulated %d new cells, want 0", got-misses)
-		}
-		if len(first.Series) != len(second.Series) {
-			t.Fatalf("series count changed: %d vs %d", len(first.Series), len(second.Series))
-		}
-		for i := range first.Series {
-			for k := range first.Series[i].Points {
-				if first.Series[i].Points[k] != second.Series[i].Points[k] {
-					t.Fatalf("cached replay differs at series %d point %d", i, k)
-				}
+	h := freshHarness(4)
+	first, err := h.Fig2(bgCtx, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	misses := h.Runner().Stats().Misses
+	second, err := h.Fig2(bgCtx, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Runner().Stats().Misses; got != misses {
+		t.Fatalf("second Fig2 simulated %d new cells, want 0", got-misses)
+	}
+	if len(first.Series) != len(second.Series) {
+		t.Fatalf("series count changed: %d vs %d", len(first.Series), len(second.Series))
+	}
+	for i := range first.Series {
+		for k := range first.Series[i].Points {
+			if first.Series[i].Points[k] != second.Series[i].Points[k] {
+				t.Fatalf("cached replay differs at series %d point %d", i, k)
 			}
 		}
-	})
+	}
 }

@@ -1,8 +1,9 @@
 package bench
 
 import (
+	"context"
+
 	"tooleval/internal/core"
-	"tooleval/internal/runner"
 	"tooleval/internal/usability"
 )
 
@@ -15,20 +16,15 @@ import (
 // the runner like any other cells; every simulation they need is
 // memoized, so an Evaluate following a `toolbench all` sweep re-uses
 // the sweep's results and simulates nothing.
-func Evaluate(profile core.WeightProfile, scale float64) (*core.Evaluation, error) {
+func (h *Harness) Evaluate(ctx context.Context, profile core.WeightProfile, scale float64) (*core.Evaluation, error) {
 	var (
 		t3               *Table3Result
 		fig2, fig3, fig4 *FigureResult
 		apl              []core.AppMeasurement
 	)
-	steps := []func() error{
-		func() (err error) { t3, err = Table3(); return },
-		func() (err error) { fig2, err = Fig2(4); return },
-		func() (err error) { fig3, err = Fig3(4); return },
-		func() (err error) { fig4, err = Fig4(4); return },
-		func() (err error) { _, apl, err = APLFigure(ExpFig8, scale); return },
-	}
-	if err := runner.Default().Map(len(steps), func(i int) error { return steps[i]() }); err != nil {
+	steps := append(h.tplSteps(ctx, 4, &t3, &fig2, &fig3, &fig4),
+		func() (err error) { _, apl, err = h.APLFigure(ctx, ExpFig8, scale); return })
+	if err := h.r.Map(ctx, len(steps), func(i int) error { return steps[i]() }); err != nil {
 		return nil, err
 	}
 	tpl := t3.Measurements()

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -43,7 +44,7 @@ type Table3Result struct {
 // networks. The network×tool columns are independent sweeps, so they
 // fan out through the runner; assembly into the result maps happens
 // serially afterwards, in the fixed network/tool order.
-func Table3() (*Table3Result, error) {
+func (h *Harness) Table3(ctx context.Context) (*Table3Result, error) {
 	res := &Table3Result{SizesBytes: StandardSizes(), TimesMs: map[string]map[string][]float64{}}
 	type job struct {
 		net, tool string
@@ -63,8 +64,8 @@ func Table3() (*Table3Result, error) {
 			jobs = append(jobs, job{net: net, tool: tool, pf: pf})
 		}
 	}
-	times, err := runner.Collect(runner.Default(), jobs, func(j job) ([]float64, error) {
-		return PingPong(j.pf, j.tool, res.SizesBytes)
+	times, err := runner.Collect(ctx, h.r, jobs, func(j job) ([]float64, error) {
+		return h.PingPong(ctx, j.pf, j.tool, res.SizesBytes)
 	})
 	if err != nil {
 		return nil, err
@@ -146,16 +147,16 @@ type FigureResult struct {
 }
 
 // Fig2 regenerates the broadcast figure (4 SUNs, Ethernet and ATM WAN).
-func Fig2(procs int) (*FigureResult, error) {
-	return tplFigure(ExpFig2, "Broadcast timing", procs, StandardSizes(), Broadcast)
+func (h *Harness) Fig2(ctx context.Context, procs int) (*FigureResult, error) {
+	return h.tplFigure(ctx, ExpFig2, "Broadcast timing", procs, StandardSizes(), h.Broadcast)
 }
 
 // Fig3 regenerates the ring figure.
-func Fig3(procs int) (*FigureResult, error) {
-	return tplFigure(ExpFig3, "Ring (loop) timing", procs, StandardSizes(), Ring)
+func (h *Harness) Fig3(ctx context.Context, procs int) (*FigureResult, error) {
+	return h.tplFigure(ctx, ExpFig3, "Ring (loop) timing", procs, StandardSizes(), h.Ring)
 }
 
-func tplFigure(id, title string, procs int, sizes []int, run func(platform.Platform, string, int, []int) ([]float64, error)) (*FigureResult, error) {
+func (h *Harness) tplFigure(ctx context.Context, id, title string, procs int, sizes []int, run func(context.Context, platform.Platform, string, int, []int) ([]float64, error)) (*FigureResult, error) {
 	fig := &FigureResult{ID: id, Title: title + " on SUN stations", XLabel: "Message Size (Kbytes)", YLabel: "Execution Time (msec)"}
 	type job struct {
 		key  string
@@ -175,8 +176,8 @@ func tplFigure(id, title string, procs int, sizes []int, run func(platform.Platf
 			jobs = append(jobs, job{key: key, tool: tool, pf: pf})
 		}
 	}
-	curves, err := runner.Collect(runner.Default(), jobs, func(j job) (Series, error) {
-		times, err := run(j.pf, j.tool, procs, sizes)
+	curves, err := runner.Collect(ctx, h.r, jobs, func(j job) (Series, error) {
+		times, err := run(ctx, j.pf, j.tool, procs, sizes)
 		if err != nil {
 			return Series{}, err
 		}
@@ -195,7 +196,7 @@ func tplFigure(id, title string, procs int, sizes []int, run func(platform.Platf
 
 // Fig4 regenerates the global summation figure (p4 and Express on
 // Ethernet, p4 on NYNET; PVM has no global operation).
-func Fig4(procs int) (*FigureResult, error) {
+func (h *Harness) Fig4(ctx context.Context, procs int) (*FigureResult, error) {
 	fig := &FigureResult{
 		ID: ExpFig4, Title: "Vector global-sum timing on SUN stations",
 		XLabel: "Vector Size (# of integers)", YLabel: "Execution Time (msec)",
@@ -219,8 +220,8 @@ func Fig4(procs int) (*FigureResult, error) {
 		{label: "express", tool: "express", pf: eth},
 		{label: "p4-NYNET", tool: "p4", pf: wan},
 	}
-	curves, err := runner.Collect(runner.Default(), jobs, func(j job) (Series, error) {
-		times, err := GlobalSum(j.pf, j.tool, procs, lens)
+	curves, err := runner.Collect(ctx, h.r, jobs, func(j job) (Series, error) {
+		times, err := h.GlobalSum(ctx, j.pf, j.tool, procs, lens)
 		if err != nil {
 			return Series{}, err
 		}
@@ -239,7 +240,7 @@ func Fig4(procs int) (*FigureResult, error) {
 
 // APLFigure regenerates one of Figures 5-8: the four applications on one
 // platform across the tool set and processor sweep.
-func APLFigure(figID string, scale float64) (*FigureResult, []core.AppMeasurement, error) {
+func (h *Harness) APLFigure(ctx context.Context, figID string, scale float64) (*FigureResult, []core.AppMeasurement, error) {
 	var spec *struct {
 		Figure   string
 		Platform string
@@ -274,8 +275,8 @@ func APLFigure(figID string, scale float64) (*FigureResult, []core.AppMeasuremen
 			jobs = append(jobs, job{app: app, tool: tool})
 		}
 	}
-	sweeps, err := runner.Collect(runner.Default(), jobs, func(j job) (APLSeries, error) {
-		return RunAPL(pf, j.tool, j.app, procs, scale)
+	sweeps, err := runner.Collect(ctx, h.r, jobs, func(j job) (APLSeries, error) {
+		return h.RunAPL(ctx, pf, j.tool, j.app, procs, scale)
 	})
 	if err != nil {
 		return nil, nil, err
@@ -372,6 +373,34 @@ func (f *FigureResult) DatFile() string {
 		b.WriteString("\n")
 	}
 	return b.String()
+}
+
+// tplSteps returns the regeneration closures for Table 3 and Figures
+// 2-4, writing into the caller's result slots. Callers compose them
+// (plus any extra steps) into one Map fan-out — Table4 and Evaluate
+// share this list so the step set cannot drift between them.
+func (h *Harness) tplSteps(ctx context.Context, procs int, t3 **Table3Result, fig2, fig3, fig4 **FigureResult) []func() error {
+	return []func() error{
+		func() (err error) { *t3, err = h.Table3(ctx); return },
+		func() (err error) { *fig2, err = h.Fig2(ctx, procs); return },
+		func() (err error) { *fig3, err = h.Fig3(ctx, procs); return },
+		func() (err error) { *fig4, err = h.Fig4(ctx, procs); return },
+	}
+}
+
+// Table4 regenerates the primitive rankings end to end: Table 3 and
+// Figures 2-4 fan out through one Map (each internally fanning out its
+// own cells), then fold through Table4FromMeasurements.
+func (h *Harness) Table4(ctx context.Context, procs int) ([]core.PrimitiveRanking, error) {
+	var (
+		t3               *Table3Result
+		fig2, fig3, fig4 *FigureResult
+	)
+	steps := h.tplSteps(ctx, procs, &t3, &fig2, &fig3, &fig4)
+	if err := h.r.Map(ctx, len(steps), func(i int) error { return steps[i]() }); err != nil {
+		return nil, err
+	}
+	return Table4FromMeasurements(t3, fig2, fig3, fig4), nil
 }
 
 // Table4FromMeasurements derives the Table 4 rankings from regenerated

@@ -9,7 +9,7 @@ import (
 )
 
 func TestTable3AgainstPaper(t *testing.T) {
-	t3, err := Table3()
+	t3, err := sharedH.Table3(bgCtx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +35,7 @@ func TestTable3AgainstPaper(t *testing.T) {
 }
 
 func TestTable3OrderingsMatchTable4(t *testing.T) {
-	t3, err := Table3()
+	t3, err := sharedH.Table3(bgCtx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,19 +58,19 @@ func TestTable3OrderingsMatchTable4(t *testing.T) {
 }
 
 func TestFullTable4MatchesPaper(t *testing.T) {
-	t3, err := Table3()
+	t3, err := sharedH.Table3(bgCtx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fig2, err := Fig2(4)
+	fig2, err := sharedH.Fig2(bgCtx, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fig3, err := Fig3(4)
+	fig3, err := sharedH.Fig3(bgCtx, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fig4, err := Fig4(4)
+	fig4, err := sharedH.Fig4(bgCtx, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +103,7 @@ func TestFullTable4MatchesPaper(t *testing.T) {
 }
 
 func TestFigureRenderAndDat(t *testing.T) {
-	fig, err := Fig2(4)
+	fig, err := sharedH.Fig2(bgCtx, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +130,7 @@ func TestFigureRenderAndDat(t *testing.T) {
 }
 
 func TestTable3RenderSideBySide(t *testing.T) {
-	t3, err := Table3()
+	t3, err := sharedH.Table3(bgCtx)
 	if err != nil {
 		t.Fatal(err)
 	}

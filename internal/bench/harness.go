@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"tooleval/internal/mpt"
+	"tooleval/internal/mpt/tools"
+	"tooleval/internal/platform"
+	"tooleval/internal/runner"
+)
+
+// Harness is one evaluation session's benchmark engine: a runner (the
+// parallelism bound plus memoization cache) and a tool registry. Every
+// table/figure regeneration and every micro-benchmark is a Harness
+// method, so concurrent harnesses are fully isolated — no shared
+// mutable state exists anywhere in this package.
+//
+// All methods take a context first; cancellation and deadlines are
+// observed between simulation cells (an individual cell always runs to
+// completion — it is milliseconds of virtual-time simulation).
+type Harness struct {
+	r      *runner.Runner
+	custom map[string]mpt.Factory
+}
+
+// NewHarness returns a Harness scheduling through r and resolving tool
+// names from the built-in registry (p4, pvm, express).
+func NewHarness(r *runner.Runner) *Harness {
+	return NewHarnessWithTools(r, nil)
+}
+
+// NewHarnessWithTools additionally resolves the given custom factories
+// by name, ahead of the built-ins. Custom tools are considered ported
+// to every platform: they are hypothetical designs under evaluation,
+// not 1995 artifacts with a fixed port matrix.
+func NewHarnessWithTools(r *runner.Runner, custom map[string]mpt.Factory) *Harness {
+	if r == nil {
+		panic("bench: NewHarness(nil runner)")
+	}
+	return &Harness{r: r, custom: custom}
+}
+
+// Runner exposes the harness scheduler (for stats and direct Do/Map
+// use by the session layer).
+func (h *Harness) Runner() *runner.Runner { return h.r }
+
+// FactoryFor resolves a tool name: custom registrations first, then the
+// built-in catalog.
+func (h *Harness) FactoryFor(name string) (mpt.Factory, error) {
+	if f, ok := h.custom[name]; ok {
+		return f, nil
+	}
+	return tools.Factory(name)
+}
+
+// Supports reports whether the named tool can run on pf under this
+// harness: custom tools run everywhere, built-ins follow the paper's
+// port matrix (§3.1).
+func (h *Harness) Supports(pf platform.Platform, name string) bool {
+	if _, ok := h.custom[name]; ok {
+		return true
+	}
+	return pf.Supports(name)
+}
+
+// ToolNames lists every tool this harness can resolve: the built-ins in
+// catalog order, then custom registrations sorted by name.
+func (h *Harness) ToolNames() []string {
+	names := tools.Names()
+	if len(h.custom) == 0 {
+		return names
+	}
+	extra := make([]string, 0, len(h.custom))
+	for name := range h.custom {
+		extra = append(extra, name)
+	}
+	sort.Strings(extra)
+	return append(names, extra...)
+}
+
+// requirePort is the shared "tool must be ported" gate for APL runs.
+func (h *Harness) requirePort(pf platform.Platform, tool string) error {
+	if !h.Supports(pf, tool) {
+		return fmt.Errorf("bench: %s has no %s port (paper §3.1)", pf.Name, tool)
+	}
+	return nil
+}

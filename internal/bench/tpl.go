@@ -5,19 +5,18 @@
 // and the derived rankings (Table 4).
 //
 // Every measured point is one independent virtual-time simulation (one
-// mpt.Run), so the harness routes each through the process-wide
-// internal/runner scheduler: points fan out across a bounded worker pool
-// and are memoized by content key, while result assembly stays in input
-// order so the emitted tables and figures are bit-identical to a serial
-// sweep.
+// mpt.Run), so the Harness routes each through its internal/runner
+// scheduler: points fan out across a bounded worker pool and are
+// memoized by content key, while result assembly stays in input order so
+// the emitted tables and figures are bit-identical to a serial sweep.
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"tooleval/internal/mpt"
-	"tooleval/internal/mpt/tools"
 	"tooleval/internal/platform"
 	"tooleval/internal/runner"
 )
@@ -50,15 +49,14 @@ type Series struct {
 // PingPong measures the round-trip send/receive time (Table 3's
 // benchmark): rank 0 sends size bytes to rank 1 and waits for the echo.
 // The result is the round-trip time in milliseconds for each size.
-func PingPong(pf platform.Platform, toolName string, sizes []int) ([]float64, error) {
-	factory, err := tools.Factory(toolName)
+func (h *Harness) PingPong(ctx context.Context, pf platform.Platform, toolName string, sizes []int) ([]float64, error) {
+	factory, err := h.FactoryFor(toolName)
 	if err != nil {
 		return nil, err
 	}
-	r := runner.Default()
-	return runner.Collect(r, sizes, func(size int) (float64, error) {
+	return runner.Collect(ctx, h.r, sizes, func(size int) (float64, error) {
 		key := runner.Key{Platform: pf.Key, Tool: toolName, Bench: "pingpong", Procs: 2, Size: size}
-		return r.Memo(key, func() (float64, error) {
+		return h.r.Memo(ctx, key, func() (float64, error) {
 			payload := testPayload(size)
 			res, err := mpt.Run(pf, factory, mpt.RunConfig{Procs: 2}, func(c *mpt.Ctx) (any, error) {
 				const tag = 1
@@ -97,15 +95,14 @@ func PingPong(pf platform.Platform, toolName string, sizes []int) ([]float64, er
 // Broadcast measures the collective broadcast of Figure 2: rank 0's data
 // reaching all procs ranks. The reported time is until the slowest rank
 // holds the data.
-func Broadcast(pf platform.Platform, toolName string, procs int, sizes []int) ([]float64, error) {
-	factory, err := tools.Factory(toolName)
+func (h *Harness) Broadcast(ctx context.Context, pf platform.Platform, toolName string, procs int, sizes []int) ([]float64, error) {
+	factory, err := h.FactoryFor(toolName)
 	if err != nil {
 		return nil, err
 	}
-	r := runner.Default()
-	return runner.Collect(r, sizes, func(size int) (float64, error) {
+	return runner.Collect(ctx, h.r, sizes, func(size int) (float64, error) {
 		key := runner.Key{Platform: pf.Key, Tool: toolName, Bench: "broadcast", Procs: procs, Size: size}
-		return r.Memo(key, func() (float64, error) {
+		return h.r.Memo(ctx, key, func() (float64, error) {
 			payload := testPayload(size)
 			res, err := mpt.Run(pf, factory, mpt.RunConfig{Procs: procs}, func(c *mpt.Ctx) (any, error) {
 				var in []byte
@@ -135,15 +132,14 @@ func Broadcast(pf platform.Platform, toolName string, procs int, sizes []int) ([
 // is until the slowest rank holds its incoming message — continuous
 // bidirectional flow, which is where the paper observes Express
 // overtaking PVM despite losing the isolated send/receive race.
-func Ring(pf platform.Platform, toolName string, procs int, sizes []int) ([]float64, error) {
-	factory, err := tools.Factory(toolName)
+func (h *Harness) Ring(ctx context.Context, pf platform.Platform, toolName string, procs int, sizes []int) ([]float64, error) {
+	factory, err := h.FactoryFor(toolName)
 	if err != nil {
 		return nil, err
 	}
-	r := runner.Default()
-	return runner.Collect(r, sizes, func(size int) (float64, error) {
+	return runner.Collect(ctx, h.r, sizes, func(size int) (float64, error) {
 		key := runner.Key{Platform: pf.Key, Tool: toolName, Bench: "ring", Procs: procs, Size: size}
-		return r.Memo(key, func() (float64, error) {
+		return h.r.Memo(ctx, key, func() (float64, error) {
 			payload := testPayload(size)
 			res, err := mpt.Run(pf, factory, mpt.RunConfig{Procs: procs}, func(c *mpt.Ctx) (any, error) {
 				const tag = 3
@@ -172,15 +168,14 @@ func Ring(pf platform.Platform, toolName string, procs int, sizes []int) ([]floa
 // GlobalSum measures Figure 4's benchmark: the element-wise global sum of
 // an integer vector across procs ranks (p4_global_op / excombine; PVM
 // reports mpt.ErrNotSupported as in Table 1).
-func GlobalSum(pf platform.Platform, toolName string, procs int, vectorLens []int) ([]float64, error) {
-	factory, err := tools.Factory(toolName)
+func (h *Harness) GlobalSum(ctx context.Context, pf platform.Platform, toolName string, procs int, vectorLens []int) ([]float64, error) {
+	factory, err := h.FactoryFor(toolName)
 	if err != nil {
 		return nil, err
 	}
-	r := runner.Default()
-	return runner.Collect(r, vectorLens, func(n int) (float64, error) {
+	return runner.Collect(ctx, h.r, vectorLens, func(n int) (float64, error) {
 		key := runner.Key{Platform: pf.Key, Tool: toolName, Bench: "globalsum", Procs: procs, Size: n}
-		return r.Memo(key, func() (float64, error) {
+		return h.r.Memo(ctx, key, func() (float64, error) {
 			res, err := mpt.Run(pf, factory, mpt.RunConfig{Procs: procs}, func(c *mpt.Ctx) (any, error) {
 				vec := make([]int64, n)
 				for i := range vec {

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"tooleval/internal/mpt"
-	"tooleval/internal/mpt/tools"
 	"tooleval/internal/platform"
 	"tooleval/internal/sim"
 )
@@ -14,8 +13,8 @@ import (
 // the reproduction's answer to the ADL debugging-support criterion ("the
 // ability to trace the execution of the parallel application", §2.3).
 // maxEvents caps the log (0 = everything).
-func TraceRun(pf platform.Platform, toolName string, size, maxEvents int) ([]string, error) {
-	factory, err := tools.Factory(toolName)
+func (h *Harness) TraceRun(pf platform.Platform, toolName string, size, maxEvents int) ([]string, error) {
+	factory, err := h.FactoryFor(toolName)
 	if err != nil {
 		return nil, err
 	}

@@ -7,7 +7,7 @@ import (
 
 func TestTraceRunProducesTimeline(t *testing.T) {
 	pf := getPlatform(t, "sun-ethernet")
-	events, err := TraceRun(pf, "pvm", 1024, 0)
+	events, err := sharedH.TraceRun(pf, "pvm", 1024, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,7 +24,7 @@ func TestTraceRunProducesTimeline(t *testing.T) {
 
 func TestTraceRunCap(t *testing.T) {
 	pf := getPlatform(t, "sun-ethernet")
-	events, err := TraceRun(pf, "p4", 1024, 5)
+	events, err := sharedH.TraceRun(pf, "p4", 1024, 5)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -97,11 +97,19 @@ func (m *Methodology) Evaluate(tpl []PrimitiveMeasurement, apl []AppMeasurement,
 		return nil, fmt.Errorf("core: no level has measurements")
 	}
 
-	// Redistribute weights of absent levels.
+	// Redistribute weights of absent levels. Iterate the levels in
+	// sorted order: float addition is order-sensitive in the last ulp,
+	// and map iteration order would make the overall scores drift
+	// between otherwise identical runs.
+	levels := make([]Level, 0, len(m.Profile.Levels))
+	for l := range m.Profile.Levels {
+		levels = append(levels, l)
+	}
+	sort.Slice(levels, func(i, j int) bool { return levels[i] < levels[j] })
 	totalW := 0.0
-	for l, w := range m.Profile.Levels {
+	for _, l := range levels {
 		if present[l] {
-			totalW += w
+			totalW += m.Profile.Levels[l]
 		}
 	}
 	if totalW <= 0 {
@@ -109,9 +117,9 @@ func (m *Methodology) Evaluate(tpl []PrimitiveMeasurement, apl []AppMeasurement,
 	}
 	for _, t := range ev.Tools {
 		var s float64
-		for l, w := range m.Profile.Levels {
+		for _, l := range levels {
 			if present[l] {
-				s += (w / totalW) * ev.Levels[l][t]
+				s += (m.Profile.Levels[l] / totalW) * ev.Levels[l][t]
 			}
 		}
 		ev.Overall[t] = s

@@ -1,11 +1,12 @@
 // Serial-vs-parallel benchmarks of a real TPL figure. They live in an
 // external test package so they can drive internal/bench (which itself
-// builds on runner) without an import cycle. Each iteration installs a
-// fresh runner — and with it an empty memoization cache — so the
+// builds on runner) without an import cycle. Each iteration builds a
+// fresh harness — and with it an empty memoization cache — so the
 // benchmark times real simulations, not cache replay.
 package runner_test
 
 import (
+	"context"
 	"testing"
 
 	"tooleval/internal/bench"
@@ -13,12 +14,11 @@ import (
 )
 
 func benchmarkFig2(b *testing.B, workers int) {
-	old := runner.Default()
-	defer runner.SetDefault(old)
+	ctx := context.Background()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		runner.SetDefault(runner.New(workers))
-		fig, err := bench.Fig2(4)
+		h := bench.NewHarness(runner.New(workers))
+		fig, err := h.Fig2(ctx, 4)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -37,16 +37,15 @@ func BenchmarkFig2Parallel8(b *testing.B) { benchmarkFig2(b, 8) }
 // after the first iteration is pure hits, so this is the cost of
 // serving a whole figure from the memoization cache.
 func BenchmarkFig2Memoized(b *testing.B) {
-	old := runner.Default()
-	defer runner.SetDefault(old)
-	runner.SetDefault(runner.New(4))
-	if _, err := bench.Fig2(4); err != nil {
+	ctx := context.Background()
+	h := bench.NewHarness(runner.New(4))
+	if _, err := h.Fig2(ctx, 4); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := bench.Fig2(4); err != nil {
+		if _, err := h.Fig2(ctx, 4); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -13,17 +13,29 @@
 //
 //   - Determinism: a cell's result is a pure function of its content
 //     key (platform, tool, benchmark, procs, size/scale), so results
-//     are memoized. Re-running a cell — e.g. `toolbench all` computing
-//     Figure 2 and the closing report needing the same curves for the
-//     methodology input — is a cache hit and simulates exactly once.
-//     Concurrent requests for the same in-flight cell coalesce
+//     are memoized in a Cache. Re-running a cell — e.g. `toolbench all`
+//     computing Figure 2 and the closing report needing the same curves
+//     for the methodology input — is a cache hit and simulates exactly
+//     once. Concurrent requests for the same in-flight cell coalesce
 //     (single-flight) rather than duplicating the simulation.
 //
-// Stats exposes the hit/miss counters so callers (and tests) can assert
-// that a sweep performed no redundant simulation.
+// There is deliberately no process-global runner: every evaluation
+// session owns its Runner (and usually its Cache), so concurrent
+// sessions never share or clobber each other's parallelism bound,
+// memoization, or statistics. A Cache can be shared across Runners
+// explicitly, which keeps the counters and memoized cells with the
+// cache rather than with any one pool.
+//
+// Cancellation is observed between simulation cells: Map checks the
+// context before starting each index and Memo checks it before
+// computing (or while waiting on an in-flight computation). A cell
+// that has started always runs to completion — individual cells are
+// milliseconds of work, and abandoning a published in-flight entry
+// would strand coalesced waiters.
 package runner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -58,7 +70,7 @@ func (k Key) String() string {
 }
 
 // Stats counts cache traffic. Misses is exactly the number of
-// simulations executed through Memo.
+// simulations executed through Memo against the cache.
 type Stats struct {
 	Hits   int64 // served from cache, or coalesced onto an in-flight compute
 	Misses int64 // computed by this call
@@ -72,62 +84,195 @@ type entry struct {
 	err  error
 }
 
-// Runner schedules experiment cells over a bounded pool and memoizes
-// their results. The zero value is not usable; call New.
-type Runner struct {
-	workers int
-	sem     chan struct{} // counting semaphore; one token per running cell
-
-	mu    sync.Mutex
-	cache map[Key]*entry
+// Cache is the memoization store for experiment cells. It is safe for
+// concurrent use and may be shared between Runners (sessions that want
+// to pool their simulation results while keeping independent
+// parallelism bounds). The zero value is not usable; call NewCache.
+type Cache struct {
+	mu sync.Mutex
+	m  map[Key]*entry
 
 	hits   atomic.Int64
 	misses atomic.Int64
 }
 
+// NewCache returns an empty cell cache.
+func NewCache() *Cache {
+	return &Cache{m: make(map[Key]*entry)}
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() Stats {
+	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+}
+
+// Len reports how many cells are memoized or in flight.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Observer is notified after each Memo call resolves: cached reports
+// whether the cell was served from the cache (or coalesced onto an
+// in-flight computation) rather than simulated by this call. Observers
+// run on the calling goroutine and must be safe for concurrent use.
+type Observer func(key Key, cached bool, err error)
+
+// Runner schedules experiment cells over a bounded pool and memoizes
+// their results in its Cache. The zero value is not usable; call New.
+type Runner struct {
+	workers int
+	sem     chan struct{} // counting semaphore; one token per running cell
+	cache   *Cache
+	observe Observer
+}
+
+// Option configures a Runner under construction.
+type Option func(*Runner)
+
+// WithCache makes the Runner memoize into c instead of a fresh private
+// cache. Sharing one Cache across Runners pools their results; the
+// hit/miss counters travel with the cache.
+func WithCache(c *Cache) Option {
+	return func(r *Runner) {
+		if c != nil {
+			r.cache = c
+		}
+	}
+}
+
+// WithObserver installs fn as the per-cell completion callback.
+func WithObserver(fn Observer) Option {
+	return func(r *Runner) { r.observe = fn }
+}
+
 // New returns a Runner executing at most workers simulations at once.
 // workers < 1 selects GOMAXPROCS.
-func New(workers int) *Runner {
+func New(workers int, opts ...Option) *Runner {
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Runner{
+	r := &Runner{
 		workers: workers,
 		sem:     make(chan struct{}, workers),
-		cache:   make(map[Key]*entry),
 	}
+	for _, opt := range opts {
+		opt(r)
+	}
+	if r.cache == nil {
+		r.cache = NewCache()
+	}
+	return r
 }
 
 // Workers reports the pool bound.
 func (r *Runner) Workers() int { return r.workers }
 
-// Stats snapshots the cache counters.
-func (r *Runner) Stats() Stats {
-	return Stats{Hits: r.hits.Load(), Misses: r.misses.Load()}
+// Cache returns the Runner's memoization store.
+func (r *Runner) Cache() *Cache { return r.cache }
+
+// Stats snapshots the cache counters (shared counters, if the cache is
+// shared).
+func (r *Runner) Stats() Stats { return r.cache.Stats() }
+
+func (r *Runner) notify(key Key, cached bool, err error) {
+	if r.observe != nil {
+		r.observe(key, cached, err)
+	}
 }
 
 // Memo returns the memoized result for key, invoking compute (under a
 // worker-pool token) only if no completed or in-flight computation for
 // key exists. Errors are cached too: a failed cell fails the same way
 // on every retry, which is itself a deterministic fact worth keeping.
-func (r *Runner) Memo(key Key, compute func() (float64, error)) (float64, error) {
-	r.mu.Lock()
-	if e, ok := r.cache[key]; ok {
-		r.mu.Unlock()
-		r.hits.Add(1)
-		<-e.done
+//
+// ctx is observed while waiting for a worker-pool token and while
+// waiting on an in-flight computation, so cancelling a sweep also
+// drains the cells still queued behind the semaphore; once compute has
+// been started by this call it runs to completion (a cell is
+// milliseconds of simulation). A ctx error is returned as-is and is
+// never cached.
+func (r *Runner) Memo(ctx context.Context, key Key, compute func() (float64, error)) (float64, error) {
+	c := r.cache
+	wait := func(e *entry) (float64, error) {
+		select {
+		case <-e.done:
+		case <-ctx.Done():
+			// The call did not resolve a cell: no hit, no notify.
+			return 0, ctx.Err()
+		}
+		c.hits.Add(1)
+		r.notify(key, true, e.err)
 		return e.val, e.err
 	}
-	e := &entry{done: make(chan struct{})}
-	r.cache[key] = e
-	r.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	if e, ok := c.m[key]; ok {
+		c.mu.Unlock()
+		return wait(e)
+	}
+	c.mu.Unlock()
 
-	r.misses.Add(1)
-	r.sem <- struct{}{}
+	// Acquire the pool token before committing to compute, so a queued
+	// cell can still be cancelled. Another goroutine may have published
+	// the key meanwhile — re-check under the lock.
+	select {
+	case r.sem <- struct{}{}:
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+	c.mu.Lock()
+	if e, ok := c.m[key]; ok {
+		c.mu.Unlock()
+		<-r.sem
+		return wait(e)
+	}
+	e := &entry{done: make(chan struct{})}
+	c.m[key] = e
+	c.mu.Unlock()
+
+	c.misses.Add(1)
+	// Release the token and wake waiters even if compute panics
+	// (user-supplied factories/apps run inside cells): a leaked token
+	// would shrink the pool and a never-closed done channel would
+	// strand every coalesced waiter. The panic is cached as the cell's
+	// error — waiters must not read the zero value as success — and
+	// re-raised on this goroutine.
+	defer func() {
+		if p := recover(); p != nil {
+			e.err = fmt.Errorf("runner: cell %s panicked: %v", key, p)
+			<-r.sem
+			close(e.done)
+			r.notify(key, false, e.err)
+			panic(p)
+		}
+		<-r.sem
+		close(e.done)
+		r.notify(key, false, e.err)
+	}()
 	e.val, e.err = compute()
-	<-r.sem
-	close(e.done)
 	return e.val, e.err
+}
+
+// Do runs fn under a worker-pool token, bounding direct (non-memoized)
+// simulations by the same parallelism as memoized cells. ctx is
+// observed while waiting for a token; once fn starts it runs to
+// completion. Do must not be called from inside a Memo compute (the
+// caller would already hold a token).
+func (r *Runner) Do(ctx context.Context, fn func() error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	select {
+	case r.sem <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	defer func() { <-r.sem }()
+	return fn()
 }
 
 // Map runs fn(0..n-1), fanning the indices out across goroutines while
@@ -141,15 +286,22 @@ func (r *Runner) Memo(key Key, compute func() (float64, error)) (float64, error)
 // the calling goroutine — the original serial code path, not a
 // simulation of it.
 //
+// ctx is checked before each index starts: a cancelled context stops
+// launching new indices and Map returns ctx.Err() (indices already
+// running complete first).
+//
 // Map may nest (a figure fans out platform×tool jobs whose bodies fan
 // out sizes): only Memo's compute holds a pool token, so outer levels
 // never starve inner ones.
-func (r *Runner) Map(n int, fn func(i int) error) error {
+func (r *Runner) Map(ctx context.Context, n int, fn func(i int) error) error {
 	if n <= 0 {
-		return nil
+		return nil // an empty sweep is a no-op even under a cancelled ctx
 	}
 	if r.workers == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -164,6 +316,11 @@ func (r *Runner) Map(n int, fn func(i int) error) error {
 		go func(i int) {
 			defer wg.Done()
 			if failed.Load() {
+				return
+			}
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				failed.Store(true)
 				return
 			}
 			if err := fn(i); err != nil {
@@ -185,9 +342,9 @@ func (r *Runner) Map(n int, fn func(i int) error) error {
 // over each job, assembling the results in job order. It is Map plus
 // the pre-sized result slice, so call sites cannot get the
 // ordered-assembly invariant wrong.
-func Collect[J, R any](r *Runner, jobs []J, fn func(J) (R, error)) ([]R, error) {
+func Collect[J, R any](ctx context.Context, r *Runner, jobs []J, fn func(J) (R, error)) ([]R, error) {
 	out := make([]R, len(jobs))
-	err := r.Map(len(jobs), func(i int) error {
+	err := r.Map(ctx, len(jobs), func(i int) error {
 		var err error
 		out[i], err = fn(jobs[i])
 		return err
@@ -196,27 +353,4 @@ func Collect[J, R any](r *Runner, jobs []J, fn func(J) (R, error)) ([]R, error) 
 		return nil, err
 	}
 	return out, nil
-}
-
-// The process-wide default runner. cmd/toolbench replaces it once at
-// startup from -j; the bench package routes every cell through it so
-// the memoization cache spans an entire invocation (`all` followed by
-// the report re-uses every curve).
-var defaultRunner atomic.Pointer[Runner]
-
-func init() {
-	defaultRunner.Store(New(0))
-}
-
-// Default returns the process-wide runner.
-func Default() *Runner { return defaultRunner.Load() }
-
-// SetDefault installs r as the process-wide runner (and with it a fresh
-// cache, unless r is shared). Tests use this to pin serial vs parallel
-// execution with independent caches.
-func SetDefault(r *Runner) {
-	if r == nil {
-		panic("runner: SetDefault(nil)")
-	}
-	defaultRunner.Store(r)
 }

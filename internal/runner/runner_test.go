@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -9,12 +10,14 @@ import (
 	"testing"
 )
 
+var bg = context.Background()
+
 func TestMemoComputesOnce(t *testing.T) {
 	r := New(4)
 	key := Key{Platform: "sun-ethernet", Tool: "p4", Bench: "pingpong", Procs: 2, Size: 1024}
 	var calls atomic.Int64
 	for i := 0; i < 5; i++ {
-		v, err := r.Memo(key, func() (float64, error) {
+		v, err := r.Memo(bg, key, func() (float64, error) {
 			calls.Add(1)
 			return 42.5, nil
 		})
@@ -44,7 +47,7 @@ func TestMemoSingleFlight(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			v, err := r.Memo(key, func() (float64, error) {
+			v, err := r.Memo(bg, key, func() (float64, error) {
 				calls.Add(1)
 				<-release // hold the computation so the others must coalesce
 				return 7, nil
@@ -69,7 +72,7 @@ func TestMemoCachesErrors(t *testing.T) {
 	sentinel := errors.New("cell failed")
 	var calls int
 	for i := 0; i < 3; i++ {
-		_, err := r.Memo(key, func() (float64, error) {
+		_, err := r.Memo(bg, key, func() (float64, error) {
 			calls++
 			return 0, sentinel
 		})
@@ -82,12 +85,160 @@ func TestMemoCachesErrors(t *testing.T) {
 	}
 }
 
+func TestMemoCancelledContext(t *testing.T) {
+	r := New(2)
+	ctx, cancel := context.WithCancel(bg)
+	cancel()
+	_, err := r.Memo(ctx, Key{Bench: "never"}, func() (float64, error) {
+		t.Fatal("compute must not run under a cancelled context")
+		return 0, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Memo error = %v, want context.Canceled", err)
+	}
+	if st := r.Stats(); st.Misses != 0 || st.Hits != 0 {
+		t.Fatalf("cancelled Memo touched the counters: %+v", st)
+	}
+}
+
+func TestMemoCancelledWhileCoalesced(t *testing.T) {
+	// A waiter coalesced onto a slow in-flight cell must honor its own
+	// context instead of blocking until the owner finishes.
+	r := New(2)
+	key := Key{Bench: "slow"}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, err := r.Memo(bg, key, func() (float64, error) {
+			close(started)
+			<-release
+			return 1, nil
+		})
+		if err != nil {
+			t.Errorf("owner Memo failed: %v", err)
+		}
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(bg)
+	go cancel()
+	_, err := r.Memo(ctx, key, func() (float64, error) { return 0, nil })
+	close(release)
+	<-done
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("coalesced Memo error = %v, want context.Canceled", err)
+	}
+}
+
+func TestMemoPanickingComputeReleasesResources(t *testing.T) {
+	r := New(1) // one worker: a leaked token would wedge the runner
+	key := Key{Bench: "kaboom"}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic must propagate to the computing caller")
+			}
+		}()
+		_, _ = r.Memo(bg, key, func() (float64, error) { panic("boom") })
+	}()
+	// The panicked cell is cached as an error, not as a zero success.
+	if _, err := r.Memo(bg, key, func() (float64, error) { return 1, nil }); err == nil {
+		t.Fatal("panicked cell must be cached as an error")
+	}
+	// The pool token was released: other cells still run.
+	v, err := r.Memo(bg, Key{Bench: "after"}, func() (float64, error) { return 5, nil })
+	if err != nil || v != 5 {
+		t.Fatalf("runner wedged after panic: %v, %v", v, err)
+	}
+}
+
+func TestSharedCachePoolsResults(t *testing.T) {
+	cache := NewCache()
+	a := New(2, WithCache(cache))
+	b := New(4, WithCache(cache))
+	key := Key{Bench: "shared"}
+	var calls atomic.Int64
+	compute := func() (float64, error) { calls.Add(1); return 9, nil }
+	if _, err := a.Memo(bg, key, compute); err != nil {
+		t.Fatal(err)
+	}
+	v, err := b.Memo(bg, key, compute)
+	if err != nil || v != 9 {
+		t.Fatalf("Memo via second runner = %v, %v", v, err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("shared cache recomputed: %d calls", calls.Load())
+	}
+	if st := cache.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("shared cache stats = %+v, want 1 hit / 1 miss", st)
+	}
+	if cache.Len() != 1 {
+		t.Fatalf("cache holds %d cells, want 1", cache.Len())
+	}
+}
+
+func TestPrivateCachesAreIsolated(t *testing.T) {
+	a, b := New(2), New(2)
+	key := Key{Bench: "isolated"}
+	var calls atomic.Int64
+	compute := func() (float64, error) { calls.Add(1); return 3, nil }
+	if _, err := a.Memo(bg, key, compute); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Memo(bg, key, compute); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("isolated runners coalesced: %d calls, want 2", calls.Load())
+	}
+	if sa, sb := a.Stats(), b.Stats(); sa.Misses != 1 || sb.Misses != 1 || sa.Hits != 0 || sb.Hits != 0 {
+		t.Fatalf("stats leaked across runners: a=%+v b=%+v", sa, sb)
+	}
+}
+
+func TestObserverSeesHitsAndMisses(t *testing.T) {
+	type event struct {
+		key    Key
+		cached bool
+	}
+	var mu sync.Mutex
+	var events []event
+	r := New(1, WithObserver(func(key Key, cached bool, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		events = append(events, event{key, cached})
+	}))
+	key := Key{Bench: "observed"}
+	for i := 0; i < 2; i++ {
+		if _, err := r.Memo(bg, key, func() (float64, error) { return 1, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(events) != 2 || events[0].cached || !events[1].cached {
+		t.Fatalf("observer events = %+v, want miss then hit", events)
+	}
+}
+
+func TestDoBoundsAndCancels(t *testing.T) {
+	r := New(1)
+	ran := false
+	if err := r.Do(bg, func() error { ran = true; return nil }); err != nil || !ran {
+		t.Fatalf("Do = %v, ran = %v", err, ran)
+	}
+	ctx, cancel := context.WithCancel(bg)
+	cancel()
+	if err := r.Do(ctx, func() error { t.Fatal("must not run"); return nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do under cancelled ctx = %v", err)
+	}
+}
+
 func TestMapPreservesOrder(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		t.Run(fmt.Sprintf("j%d", workers), func(t *testing.T) {
 			r := New(workers)
 			out := make([]int, 100)
-			err := r.Map(len(out), func(i int) error {
+			err := r.Map(bg, len(out), func(i int) error {
 				out[i] = i * i
 				return nil
 			})
@@ -106,7 +257,7 @@ func TestMapPreservesOrder(t *testing.T) {
 func TestMapSerialRunsInOrder(t *testing.T) {
 	r := New(1)
 	var seen []int
-	if err := r.Map(10, func(i int) error {
+	if err := r.Map(bg, 10, func(i int) error {
 		seen = append(seen, i) // safe: workers==1 runs on the calling goroutine
 		return nil
 	}); err != nil {
@@ -131,12 +282,12 @@ func TestMapReturnsError(t *testing.T) {
 		return nil
 	}
 	// Serial mode stops at the first failing index.
-	if err := New(1).Map(8, body); !errors.Is(err, errLow) {
+	if err := New(1).Map(bg, 8, body); !errors.Is(err, errLow) {
 		t.Fatalf("j=1: Map error = %v, want the first error", err)
 	}
 	// Parallel mode skips not-yet-started indices after a failure, so
 	// either failing index may be the one reported — but one must be.
-	err := New(4).Map(8, body)
+	err := New(4).Map(bg, 8, body)
 	if !errors.Is(err, errLow) && !errors.Is(err, errHigh) {
 		t.Fatalf("j=4: Map error = %v, want one of the injected errors", err)
 	}
@@ -148,7 +299,7 @@ func TestMapStopsLaunchingAfterFailure(t *testing.T) {
 	r := New(2)
 	var ran atomic.Int64
 	boom := errors.New("boom")
-	err := r.Map(64, func(i int) error {
+	err := r.Map(bg, 64, func(i int) error {
 		ran.Add(1)
 		return boom
 	})
@@ -160,14 +311,50 @@ func TestMapStopsLaunchingAfterFailure(t *testing.T) {
 	}
 }
 
+func TestMapCancelledMidSweepSerial(t *testing.T) {
+	// Serial mode checks the context between indices, so a cancellation
+	// raised inside index 0 deterministically stops the sweep there.
+	r := New(1)
+	ctx, cancel := context.WithCancel(bg)
+	var ran int
+	err := r.Map(ctx, 64, func(i int) error {
+		ran++
+		cancel()
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Map error = %v, want context.Canceled", err)
+	}
+	if ran != 1 {
+		t.Fatalf("ran %d indices after cancellation, want 1", ran)
+	}
+}
+
+func TestMapCancelledBeforeStartParallel(t *testing.T) {
+	r := New(4)
+	ctx, cancel := context.WithCancel(bg)
+	cancel()
+	var ran atomic.Int64
+	err := r.Map(ctx, 64, func(i int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Map error = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got != 0 {
+		t.Fatalf("%d indices ran under a pre-cancelled context, want 0", got)
+	}
+}
+
 func TestMapNests(t *testing.T) {
 	// Outer Map items each run an inner Map plus a Memo'd cell; with a
 	// pool of 2 this deadlocks unless only Memo's compute holds a token.
 	r := New(2)
 	var cells atomic.Int64
-	err := r.Map(6, func(i int) error {
-		return r.Map(6, func(j int) error {
-			_, err := r.Memo(Key{Bench: "nest", Procs: i, Size: j}, func() (float64, error) {
+	err := r.Map(bg, 6, func(i int) error {
+		return r.Map(bg, 6, func(j int) error {
+			_, err := r.Memo(bg, Key{Bench: "nest", Procs: i, Size: j}, func() (float64, error) {
 				cells.Add(1)
 				return float64(i * j), nil
 			})
@@ -182,6 +369,16 @@ func TestMapNests(t *testing.T) {
 	}
 }
 
+func TestCollectCancelled(t *testing.T) {
+	r := New(1)
+	ctx, cancel := context.WithCancel(bg)
+	cancel()
+	_, err := Collect(ctx, r, []int{1, 2, 3}, func(j int) (int, error) { return j, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Collect error = %v, want context.Canceled", err)
+	}
+}
+
 func TestNewClampsWorkers(t *testing.T) {
 	for _, w := range []int{0, -3} {
 		if got := New(w).Workers(); got != runtime.GOMAXPROCS(0) {
@@ -190,16 +387,6 @@ func TestNewClampsWorkers(t *testing.T) {
 	}
 	if got := New(7).Workers(); got != 7 {
 		t.Fatalf("New(7).Workers() = %d", got)
-	}
-}
-
-func TestDefaultSwap(t *testing.T) {
-	old := Default()
-	defer SetDefault(old)
-	r := New(3)
-	SetDefault(r)
-	if Default() != r {
-		t.Fatal("SetDefault did not install the runner")
 	}
 }
 

@@ -1,0 +1,356 @@
+package tooleval
+
+import (
+	"context"
+	"fmt"
+
+	"tooleval/internal/bench"
+	"tooleval/internal/core"
+	"tooleval/internal/mpt"
+	"tooleval/internal/platform"
+	"tooleval/internal/runner"
+)
+
+// Cache is a shareable store of memoized simulation cells. Every cell
+// is a pure function of its content key (platform, tool, benchmark,
+// procs, size/scale), so two sessions pointing WithCache at the same
+// Cache pool their results: a cell simulated by one is a cache hit for
+// the other. The hit/miss counters travel with the cache.
+//
+// Sessions sharing a Cache must agree on what every tool name means:
+// two sessions registering different factories under the same custom
+// name would memoize conflicting results under equal keys.
+type Cache = runner.Cache
+
+// NewCache returns an empty cell cache for use with WithCache.
+func NewCache() *Cache { return runner.NewCache() }
+
+// Cell identifies one memoized simulation cell — one entry of the
+// paper's evaluation matrix.
+type Cell = runner.Key
+
+// CellEvent reports one resolved simulation cell to a WithProgress
+// callback. Cached is true when the cell was served from the session's
+// memoization cache (or coalesced onto an in-flight computation)
+// instead of being simulated by this call.
+type CellEvent struct {
+	Cell   Cell
+	Cached bool
+	Err    error
+}
+
+// ProgressFunc observes cell completions. It runs on whichever
+// goroutine resolved the cell and must be safe for concurrent use.
+type ProgressFunc func(CellEvent)
+
+// Session is one self-contained evaluation instance: it owns its
+// experiment scheduler (parallelism bound), its memoization cache, its
+// statistics, and its tool registry. Sessions are safe for concurrent
+// use, and distinct sessions are fully isolated from one another — two
+// tenants in one process can evaluate concurrently with different
+// parallelism without sharing or clobbering any state.
+//
+// All methods take a Context first. Cancellation and deadlines are
+// observed between simulation cells: a sweep aborts promptly with
+// ctx.Err(), while the cell in flight (milliseconds of virtual-time
+// simulation) always runs to completion.
+//
+// Because virtual time makes every cell deterministic, a Session's
+// results are bit-identical at any parallelism.
+type Session struct {
+	h           *bench.Harness
+	parallelism int
+}
+
+type sessionConfig struct {
+	parallelism int
+	cache       *Cache
+	tools       map[string]Factory
+	progress    ProgressFunc
+}
+
+// Option configures a Session under construction.
+type Option func(*sessionConfig)
+
+// WithParallelism bounds how many independent simulations the session
+// runs at once (n < 1 selects GOMAXPROCS, the default). n == 1
+// reproduces the strictly serial sweep order; results are identical at
+// any value.
+func WithParallelism(n int) Option {
+	return func(c *sessionConfig) { c.parallelism = n }
+}
+
+// WithCache makes the session memoize into the given shared cache
+// instead of a fresh private one. See Cache for the sharing contract.
+func WithCache(cache *Cache) Option {
+	return func(c *sessionConfig) {
+		if cache != nil {
+			c.cache = cache
+		}
+	}
+}
+
+// WithTool registers a user-supplied tool implementation under name,
+// resolvable by every Session method that takes a tool name — the
+// methodology's second objective, serving as "a unified platform for
+// PDC tool developers". Custom tools are considered ported to every
+// platform (they are designs under evaluation, not 1995 artifacts with
+// a fixed port matrix) and shadow a built-in of the same name.
+func WithTool(name string, factory Factory) Option {
+	return func(c *sessionConfig) {
+		if c.tools == nil {
+			c.tools = make(map[string]Factory)
+		}
+		c.tools[name] = factory
+	}
+}
+
+// WithTools registers every factory in reg; see WithTool.
+func WithTools(reg map[string]Factory) Option {
+	return func(c *sessionConfig) {
+		for name, factory := range reg {
+			if c.tools == nil {
+				c.tools = make(map[string]Factory)
+			}
+			c.tools[name] = factory
+		}
+	}
+}
+
+// WithProgress installs fn as the session's per-cell progress callback.
+func WithProgress(fn ProgressFunc) Option {
+	return func(c *sessionConfig) { c.progress = fn }
+}
+
+// NewSession builds an isolated evaluation session. With no options it
+// uses GOMAXPROCS parallelism, a fresh private cache, the built-in tool
+// registry (p4, pvm, express), and no progress callback.
+func NewSession(opts ...Option) *Session {
+	var cfg sessionConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	ropts := make([]runner.Option, 0, 2)
+	if cfg.cache != nil {
+		ropts = append(ropts, runner.WithCache(cfg.cache))
+	}
+	if cfg.progress != nil {
+		progress := cfg.progress
+		ropts = append(ropts, runner.WithObserver(func(key runner.Key, cached bool, err error) {
+			progress(CellEvent{Cell: key, Cached: cached, Err: err})
+		}))
+	}
+	var custom map[string]mpt.Factory
+	if len(cfg.tools) > 0 {
+		custom = make(map[string]mpt.Factory, len(cfg.tools))
+		for name, factory := range cfg.tools {
+			custom[name] = factory
+		}
+	}
+	r := runner.New(cfg.parallelism, ropts...)
+	return &Session{
+		h:           bench.NewHarnessWithTools(r, custom),
+		parallelism: r.Workers(),
+	}
+}
+
+// Parallelism reports the session's simulation concurrency bound.
+func (s *Session) Parallelism() int { return s.parallelism }
+
+// Stats reports the session's memoization counters: cells served from
+// cache (hits) and cells actually simulated (misses). With WithCache
+// the counters are those of the shared cache.
+func (s *Session) Stats() (hits, misses int64) {
+	st := s.h.Runner().Stats()
+	return st.Hits, st.Misses
+}
+
+// Cache returns the session's memoization cache (shared or private),
+// for handing to another session via WithCache.
+func (s *Session) Cache() *Cache { return s.h.Runner().Cache() }
+
+// Tools lists every tool name this session resolves: the built-ins,
+// then custom registrations in sorted order.
+func (s *Session) Tools() []string { return s.h.ToolNames() }
+
+// resolvePlatform looks up a platform and, when tool is non-empty,
+// checks the session's port matrix.
+func (s *Session) resolvePlatform(platformKey, tool string) (platform.Platform, error) {
+	pf, err := platform.Get(platformKey)
+	if err != nil {
+		return pf, err
+	}
+	if tool != "" && !s.h.Supports(pf, tool) {
+		return pf, fmt.Errorf("tooleval: %s has no %s port (paper §3.1)", pf.Name, tool)
+	}
+	return pf, nil
+}
+
+// Run executes body as an SPMD program under the named tool (built-in
+// or registered via WithTool) on the named platform. All timing in the
+// result is deterministic virtual time. The run occupies one slot of
+// the session's parallelism bound; ctx is observed while waiting for a
+// slot.
+func (s *Session) Run(ctx context.Context, platformKey, tool string, cfg RunConfig, body func(*Ctx) (any, error)) (*RunResult, error) {
+	pf, err := s.resolvePlatform(platformKey, tool)
+	if err != nil {
+		return nil, err
+	}
+	factory, err := s.h.FactoryFor(tool)
+	if err != nil {
+		return nil, err
+	}
+	return s.runBounded(ctx, pf, factory, cfg, body)
+}
+
+// RunWithFactory is Run for a one-off tool implementation that is not
+// registered in the session. Prefer WithTool, which also enables the
+// benchmark methods for the custom tool.
+func (s *Session) RunWithFactory(ctx context.Context, platformKey string, factory Factory, cfg RunConfig, body func(*Ctx) (any, error)) (*RunResult, error) {
+	pf, err := platform.Get(platformKey)
+	if err != nil {
+		return nil, err
+	}
+	return s.runBounded(ctx, pf, factory, cfg, body)
+}
+
+func (s *Session) runBounded(ctx context.Context, pf Platform, factory Factory, cfg RunConfig, body func(*Ctx) (any, error)) (*RunResult, error) {
+	var res *RunResult
+	err := s.h.Runner().Do(ctx, func() error {
+		var err error
+		res, err = mpt.Run(pf, factory, cfg, body)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// PingPong measures the send/receive round trip (Table 3's benchmark)
+// and returns milliseconds per message size.
+func (s *Session) PingPong(ctx context.Context, platformKey, tool string, sizes []int) ([]float64, error) {
+	pf, err := s.resolvePlatform(platformKey, tool)
+	if err != nil {
+		return nil, err
+	}
+	return s.h.PingPong(ctx, pf, tool, sizes)
+}
+
+// Broadcast measures the collective broadcast (Figure 2's benchmark).
+func (s *Session) Broadcast(ctx context.Context, platformKey, tool string, procs int, sizes []int) ([]float64, error) {
+	pf, err := s.resolvePlatform(platformKey, tool)
+	if err != nil {
+		return nil, err
+	}
+	return s.h.Broadcast(ctx, pf, tool, procs, sizes)
+}
+
+// Ring measures the ring/loop benchmark (Figure 3).
+func (s *Session) Ring(ctx context.Context, platformKey, tool string, procs int, sizes []int) ([]float64, error) {
+	pf, err := s.resolvePlatform(platformKey, tool)
+	if err != nil {
+		return nil, err
+	}
+	return s.h.Ring(ctx, pf, tool, procs, sizes)
+}
+
+// GlobalSum measures the integer-vector global summation (Figure 4).
+func (s *Session) GlobalSum(ctx context.Context, platformKey, tool string, procs int, vectorLens []int) ([]float64, error) {
+	pf, err := s.resolvePlatform(platformKey, tool)
+	if err != nil {
+		return nil, err
+	}
+	return s.h.GlobalSum(ctx, pf, tool, procs, vectorLens)
+}
+
+// RunApp executes a suite application ("jpeg", "fft2d", "montecarlo",
+// "psrs") over a processor sweep and returns its execution-time curve.
+// scale shrinks the paper-scale workload (1.0 reproduces the paper).
+func (s *Session) RunApp(ctx context.Context, platformKey, tool, app string, procsList []int, scale float64) (AppMeasurement, error) {
+	pf, err := platform.Get(platformKey)
+	if err != nil {
+		return AppMeasurement{}, err
+	}
+	series, err := s.h.RunAPL(ctx, pf, tool, app, procsList, scale)
+	if err != nil {
+		return AppMeasurement{}, err
+	}
+	return AppMeasurement{Platform: series.Platform, App: series.App, Tool: series.Tool, Procs: series.Procs, Seconds: series.Seconds}, nil
+}
+
+// Evaluate runs the complete multi-level methodology: it regenerates
+// the TPL measurements (Table 3 and Figures 2-4), the APL measurements
+// on the SUN/Ethernet platform at the given workload scale, combines
+// them with the paper's ADL matrix, and returns the weighted
+// evaluation. Cells already computed in this session — by an earlier
+// Evaluate or by the benchmark methods — are served from the
+// memoization cache instead of re-simulated.
+func (s *Session) Evaluate(ctx context.Context, profile WeightProfile, scale float64) (*Evaluation, error) {
+	return s.h.Evaluate(ctx, profile, scale)
+}
+
+// Table3 regenerates the snd/recv timing table over the three SUN
+// networks.
+func (s *Session) Table3(ctx context.Context) (*Table3Result, error) {
+	return s.h.Table3(ctx)
+}
+
+// Fig2 regenerates the broadcast figure at the given rank count (the
+// paper uses 4).
+func (s *Session) Fig2(ctx context.Context, procs int) (*FigureResult, error) {
+	return s.h.Fig2(ctx, procs)
+}
+
+// Fig3 regenerates the ring figure.
+func (s *Session) Fig3(ctx context.Context, procs int) (*FigureResult, error) {
+	return s.h.Fig3(ctx, procs)
+}
+
+// Fig4 regenerates the global summation figure.
+func (s *Session) Fig4(ctx context.Context, procs int) (*FigureResult, error) {
+	return s.h.Fig4(ctx, procs)
+}
+
+// Table4 regenerates the primitive-ranking table from Table 3 and
+// Figures 2-4 (all four fan out concurrently within the session's
+// parallelism bound).
+func (s *Session) Table4(ctx context.Context, procs int) ([]PrimitiveRanking, error) {
+	return s.h.Table4(ctx, procs)
+}
+
+// APLFigure regenerates one of Figures 5-8 ("fig5".."fig8"): the four
+// suite applications on that figure's platform across its tool set and
+// processor sweep.
+func (s *Session) APLFigure(ctx context.Context, figID string, scale float64) (*FigureResult, []AppMeasurement, error) {
+	return s.h.APLFigure(ctx, figID, scale)
+}
+
+// TraceRun executes a small ping-pong under the named tool with the
+// engine execution trace enabled and returns the formatted event log
+// (the ADL debugging-support criterion). The run occupies one slot of
+// the session's parallelism bound.
+func (s *Session) TraceRun(ctx context.Context, platformKey, tool string, size, maxEvents int) ([]string, error) {
+	pf, err := s.resolvePlatform(platformKey, tool)
+	if err != nil {
+		return nil, err
+	}
+	var events []string
+	err = s.h.Runner().Do(ctx, func() error {
+		var err error
+		events, err = s.h.TraceRun(pf, tool, size, maxEvents)
+		return err
+	})
+	return events, err
+}
+
+// ProfileByName looks up a built-in weight profile ("end-user",
+// "developer", "system-manager").
+func ProfileByName(name string) (WeightProfile, error) {
+	for _, p := range core.Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return WeightProfile{}, fmt.Errorf("tooleval: unknown profile %q", name)
+}

@@ -23,17 +23,32 @@
 // and XDR for PVM, rendezvous plus fixed-size packetization for
 // Express), and applications compute real results over real payloads
 // while virtual time provides all measurements deterministically.
+//
+// # Sessions
+//
+// The unit of use is the [Session]: an isolated evaluation instance
+// owning its scheduler, memoization cache, statistics, and tool
+// registry, created with functional options:
+//
+//	sess := tooleval.NewSession(tooleval.WithParallelism(4))
+//	ev, err := sess.Evaluate(ctx, tooleval.EndUserProfile(), 1.0)
+//
+// Concurrent sessions never share state (unless handed one [Cache]
+// explicitly), so one process can serve many tenants. [Session.Submit]
+// runs a whole heterogeneous sweep declared as data. The package-level
+// functions mirroring Session methods are deprecated compatibility
+// wrappers over a lazily-built default session.
 package tooleval
 
 import (
-	"fmt"
+	"context"
+	"sync/atomic"
 
 	"tooleval/internal/bench"
 	"tooleval/internal/core"
 	"tooleval/internal/mpt"
 	"tooleval/internal/mpt/tools"
 	"tooleval/internal/platform"
-	"tooleval/internal/runner"
 )
 
 // Re-exported core types. These aliases are the stable public surface;
@@ -63,8 +78,16 @@ type (
 	PrimitiveMeasurement = core.PrimitiveMeasurement
 	// AppMeasurement is APL input to the methodology.
 	AppMeasurement = core.AppMeasurement
+	// PrimitiveRanking is one Table 4 cell: tools ordered best-first
+	// for one primitive on one platform.
+	PrimitiveRanking = core.PrimitiveRanking
 	// Series is one curve of a regenerated figure.
 	Series = bench.Series
+	// Table3Result is the regenerated send/receive timing table.
+	Table3Result = bench.Table3Result
+	// FigureResult is a regenerated figure: one or more series per
+	// platform, renderable as text, ASCII chart, or .dat file.
+	FigureResult = bench.FigureResult
 )
 
 // Wildcards for Recv.
@@ -87,85 +110,13 @@ func GetPlatform(key string) (Platform, error) { return platform.Get(key) }
 // ToolNames returns the evaluated tools: p4, pvm, express.
 func ToolNames() []string { return tools.Names() }
 
-// Run executes body as an SPMD program under the named tool on the named
-// platform. All timing in the result is deterministic virtual time.
-func Run(platformKey, tool string, cfg RunConfig, body func(*Ctx) (any, error)) (*RunResult, error) {
-	pf, err := platform.Get(platformKey)
-	if err != nil {
-		return nil, err
-	}
-	if !pf.Supports(tool) {
-		return nil, fmt.Errorf("tooleval: %s has no %s port (paper §3.1)", pf.Name, tool)
-	}
-	factory, err := tools.Factory(tool)
-	if err != nil {
-		return nil, err
-	}
-	return mpt.Run(pf, factory, cfg, body)
-}
+// PrimitiveNames maps each communication primitive to its per-tool
+// library call names (Table 1).
+func PrimitiveNames() map[string]map[string]string { return tools.PrimitiveNames() }
 
-// RunWithFactory is Run for a user-supplied tool implementation — the
-// methodology's second objective is serving as "a unified platform for
-// PDC tool developers".
-func RunWithFactory(platformKey string, factory Factory, cfg RunConfig, body func(*Ctx) (any, error)) (*RunResult, error) {
-	pf, err := platform.Get(platformKey)
-	if err != nil {
-		return nil, err
-	}
-	return mpt.Run(pf, factory, cfg, body)
-}
-
-// PingPong measures the send/receive round trip (Table 3's benchmark)
-// and returns milliseconds per message size.
-func PingPong(platformKey, tool string, sizes []int) ([]float64, error) {
-	pf, err := platform.Get(platformKey)
-	if err != nil {
-		return nil, err
-	}
-	return bench.PingPong(pf, tool, sizes)
-}
-
-// Broadcast measures the collective broadcast (Figure 2's benchmark).
-func Broadcast(platformKey, tool string, procs int, sizes []int) ([]float64, error) {
-	pf, err := platform.Get(platformKey)
-	if err != nil {
-		return nil, err
-	}
-	return bench.Broadcast(pf, tool, procs, sizes)
-}
-
-// Ring measures the ring/loop benchmark (Figure 3).
-func Ring(platformKey, tool string, procs int, sizes []int) ([]float64, error) {
-	pf, err := platform.Get(platformKey)
-	if err != nil {
-		return nil, err
-	}
-	return bench.Ring(pf, tool, procs, sizes)
-}
-
-// GlobalSum measures the integer-vector global summation (Figure 4).
-func GlobalSum(platformKey, tool string, procs int, vectorLens []int) ([]float64, error) {
-	pf, err := platform.Get(platformKey)
-	if err != nil {
-		return nil, err
-	}
-	return bench.GlobalSum(pf, tool, procs, vectorLens)
-}
-
-// RunApp executes a suite application ("jpeg", "fft2d", "montecarlo",
-// "psrs") over a processor sweep and returns its execution-time curve.
-// scale shrinks the paper-scale workload (1.0 reproduces the paper).
-func RunApp(platformKey, tool, app string, procsList []int, scale float64) (AppMeasurement, error) {
-	pf, err := platform.Get(platformKey)
-	if err != nil {
-		return AppMeasurement{}, err
-	}
-	s, err := bench.RunAPL(pf, tool, app, procsList, scale)
-	if err != nil {
-		return AppMeasurement{}, err
-	}
-	return AppMeasurement{Platform: s.Platform, App: s.App, Tool: s.Tool, Procs: s.Procs, Seconds: s.Seconds}, nil
-}
+// Experiments lists the table/figure experiment ids in paper order
+// (the vocabulary of cmd/toolbench and Session's regeneration methods).
+func Experiments() []string { return bench.Experiments() }
 
 // Profiles returns the built-in weight profiles (end-user, developer,
 // system-manager).
@@ -182,35 +133,119 @@ func DeveloperProfile() WeightProfile { return core.DeveloperProfile() }
 // utilization is the system manager's metric).
 func SystemManagerProfile() WeightProfile { return core.SystemManagerProfile() }
 
-// Evaluate runs the complete multi-level methodology: it regenerates the
-// TPL measurements (Table 3 and Figures 2-4), the APL measurements on
-// the SUN/Ethernet platform at the given workload scale, combines them
-// with the paper's ADL matrix, and returns the weighted evaluation.
-// Every simulation routes through the experiment scheduler (see
-// SetParallelism), so cells already computed in this process — by an
-// earlier Evaluate or by the benchmark functions above — are served
-// from the memoization cache instead of re-simulated.
-func Evaluate(profile WeightProfile, scale float64) (*Evaluation, error) {
-	return bench.Evaluate(profile, scale)
-}
-
-// SetParallelism bounds how many independent simulations the experiment
-// scheduler runs at once (n < 1 selects GOMAXPROCS). It installs a
-// fresh scheduler, so the memoization cache of previously computed
-// cells is dropped. Virtual time keeps every cell deterministic, so
-// results are identical at any parallelism; n == 1 reproduces the
-// strictly serial sweep order.
-func SetParallelism(n int) {
-	runner.SetDefault(runner.New(n))
-}
-
-// SchedulerStats reports the experiment scheduler's memoization
-// counters: cells served from cache (hits) and cells actually
-// simulated (misses).
-func SchedulerStats() (hits, misses int64) {
-	st := runner.Default().Stats()
-	return st.Hits, st.Misses
-}
-
 // RenderEvaluation formats an evaluation as a text report.
 func RenderEvaluation(ev *Evaluation) string { return core.RenderEvaluation(ev) }
+
+// MarshalReport renders an evaluation as indented JSON for downstream
+// tooling (dashboards, regression tracking).
+func MarshalReport(ev *Evaluation) ([]byte, error) { return core.MarshalReport(ev) }
+
+// The process-wide default session backing the deprecated package-level
+// wrappers below. Built lazily on first use; swapped atomically by
+// SetParallelism, so the wrappers are safe to call concurrently with a
+// swap (in-flight calls finish on the session they started on).
+var defaultSession atomic.Pointer[Session]
+
+// DefaultSession returns the lazily-built session the deprecated
+// package-level functions delegate to. New code should build its own
+// [Session]; this accessor exists so legacy call sites can migrate
+// incrementally (e.g. to read Stats or hand the session around).
+func DefaultSession() *Session {
+	if s := defaultSession.Load(); s != nil {
+		return s
+	}
+	s := NewSession()
+	if defaultSession.CompareAndSwap(nil, s) {
+		return s
+	}
+	return defaultSession.Load()
+}
+
+// SetParallelism bounds how many independent simulations the default
+// session's scheduler runs at once (n < 1 selects GOMAXPROCS) by
+// atomically installing a fresh default session. The swap drops the
+// previous default session's memoization cache: cells computed before
+// the call are re-simulated if requested again. Calls already in
+// flight are unaffected — they complete on the session they started
+// on, with its cache and stats. Virtual time keeps every cell
+// deterministic, so results are identical at any parallelism; n == 1
+// reproduces the strictly serial sweep order.
+//
+// Deprecated: build an isolated [Session] with [WithParallelism]
+// instead of reconfiguring the shared default.
+func SetParallelism(n int) {
+	defaultSession.Store(NewSession(WithParallelism(n)))
+}
+
+// SchedulerStats reports the default session's memoization counters:
+// cells served from cache (hits) and cells actually simulated (misses).
+//
+// Deprecated: use [Session.Stats].
+func SchedulerStats() (hits, misses int64) {
+	return DefaultSession().Stats()
+}
+
+// Run executes body as an SPMD program under the named tool on the named
+// platform. All timing in the result is deterministic virtual time.
+//
+// Deprecated: use [Session.Run], which takes a context and an isolated
+// scheduler.
+func Run(platformKey, tool string, cfg RunConfig, body func(*Ctx) (any, error)) (*RunResult, error) {
+	return DefaultSession().Run(context.Background(), platformKey, tool, cfg, body)
+}
+
+// RunWithFactory is Run for a user-supplied tool implementation — the
+// methodology's second objective is serving as "a unified platform for
+// PDC tool developers".
+//
+// Deprecated: use [Session.RunWithFactory], or register the factory
+// with [WithTool] to enable the benchmark methods too.
+func RunWithFactory(platformKey string, factory Factory, cfg RunConfig, body func(*Ctx) (any, error)) (*RunResult, error) {
+	return DefaultSession().RunWithFactory(context.Background(), platformKey, factory, cfg, body)
+}
+
+// PingPong measures the send/receive round trip (Table 3's benchmark)
+// and returns milliseconds per message size.
+//
+// Deprecated: use [Session.PingPong].
+func PingPong(platformKey, tool string, sizes []int) ([]float64, error) {
+	return DefaultSession().PingPong(context.Background(), platformKey, tool, sizes)
+}
+
+// Broadcast measures the collective broadcast (Figure 2's benchmark).
+//
+// Deprecated: use [Session.Broadcast].
+func Broadcast(platformKey, tool string, procs int, sizes []int) ([]float64, error) {
+	return DefaultSession().Broadcast(context.Background(), platformKey, tool, procs, sizes)
+}
+
+// Ring measures the ring/loop benchmark (Figure 3).
+//
+// Deprecated: use [Session.Ring].
+func Ring(platformKey, tool string, procs int, sizes []int) ([]float64, error) {
+	return DefaultSession().Ring(context.Background(), platformKey, tool, procs, sizes)
+}
+
+// GlobalSum measures the integer-vector global summation (Figure 4).
+//
+// Deprecated: use [Session.GlobalSum].
+func GlobalSum(platformKey, tool string, procs int, vectorLens []int) ([]float64, error) {
+	return DefaultSession().GlobalSum(context.Background(), platformKey, tool, procs, vectorLens)
+}
+
+// RunApp executes a suite application ("jpeg", "fft2d", "montecarlo",
+// "psrs") over a processor sweep and returns its execution-time curve.
+// scale shrinks the paper-scale workload (1.0 reproduces the paper).
+//
+// Deprecated: use [Session.RunApp].
+func RunApp(platformKey, tool, app string, procsList []int, scale float64) (AppMeasurement, error) {
+	return DefaultSession().RunApp(context.Background(), platformKey, tool, app, procsList, scale)
+}
+
+// Evaluate runs the complete multi-level methodology on the default
+// session (see [Session.Evaluate]).
+//
+// Deprecated: use [Session.Evaluate].
+func Evaluate(profile WeightProfile, scale float64) (*Evaluation, error) {
+	return DefaultSession().Evaluate(context.Background(), profile, scale)
+}

@@ -1,11 +1,14 @@
 package tooleval_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
 	"tooleval"
 )
+
+var bg = context.Background()
 
 func TestPlatformsCatalog(t *testing.T) {
 	pfs := tooleval.Platforms()
@@ -34,7 +37,8 @@ func TestToolNames(t *testing.T) {
 }
 
 func TestRunRejectsMissingPort(t *testing.T) {
-	_, err := tooleval.Run("sun-atm-wan", "express", tooleval.RunConfig{Procs: 2},
+	sess := tooleval.NewSession()
+	_, err := sess.Run(bg, "sun-atm-wan", "express", tooleval.RunConfig{Procs: 2},
 		func(c *tooleval.Ctx) (any, error) { return nil, nil })
 	if err == nil {
 		t.Fatal("express on NYNET must be rejected")
@@ -45,7 +49,8 @@ func TestRunRejectsMissingPort(t *testing.T) {
 }
 
 func TestPublicPingPong(t *testing.T) {
-	ms, err := tooleval.PingPong("sun-ethernet", "p4", []int{0, 16 << 10})
+	sess := tooleval.NewSession()
+	ms, err := sess.PingPong(bg, "sun-ethernet", "p4", []int{0, 16 << 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +60,8 @@ func TestPublicPingPong(t *testing.T) {
 }
 
 func TestPublicRunApp(t *testing.T) {
-	m, err := tooleval.RunApp("alpha-fddi", "pvm", "montecarlo", []int{1, 2}, 0.1)
+	sess := tooleval.NewSession()
+	m, err := sess.RunApp(bg, "alpha-fddi", "pvm", "montecarlo", []int{1, 2}, 0.1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,8 +74,11 @@ func TestEvaluateEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full evaluation skipped in -short")
 	}
+	// One session: the three profile evaluations re-weight the same
+	// memoized cells.
+	sess := tooleval.NewSession()
 	for _, profile := range tooleval.Profiles() {
-		ev, err := tooleval.Evaluate(profile, 0.1)
+		ev, err := sess.Evaluate(bg, profile, 0.1)
 		if err != nil {
 			t.Fatalf("%s: %v", profile.Name, err)
 		}
@@ -87,18 +96,53 @@ func TestEvaluateEndToEnd(t *testing.T) {
 			t.Fatalf("report missing profile name:\n%s", text)
 		}
 	}
+	if hits, misses := sess.Stats(); misses == 0 || hits == 0 {
+		t.Fatalf("stats = %d hits / %d misses; repeated profiles should hit the session cache", hits, misses)
+	}
 }
 
 func TestDeterministicPublicAPI(t *testing.T) {
-	a, err := tooleval.Ring("sun-ethernet", "pvm", 4, []int{8 << 10})
+	// Two isolated sessions (empty caches) must agree bit-for-bit.
+	a, err := tooleval.NewSession().Ring(bg, "sun-ethernet", "pvm", 4, []int{8 << 10})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := tooleval.Ring("sun-ethernet", "pvm", 4, []int{8 << 10})
+	b, err := tooleval.NewSession().Ring(bg, "sun-ethernet", "pvm", 4, []int{8 << 10})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if a[0] != b[0] {
 		t.Fatalf("ring not deterministic: %f vs %f", a[0], b[0])
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	p, err := tooleval.ProfileByName("developer")
+	if err != nil || p.Name != "developer" {
+		t.Fatalf("ProfileByName(developer) = %+v, %v", p, err)
+	}
+	if _, err := tooleval.ProfileByName("operator"); err == nil {
+		t.Fatal("unknown profile should error")
+	}
+}
+
+// TestDeprecatedWrappersStillWork keeps the compatibility surface
+// honest: the package-level functions must keep serving legacy callers
+// through the default session.
+func TestDeprecatedWrappersStillWork(t *testing.T) {
+	//lint:ignore SA1019 the deprecated wrappers are this test's subject
+	ms, err := tooleval.PingPong("sun-ethernet", "p4", []int{1 << 10})
+	if err != nil || len(ms) != 1 {
+		t.Fatalf("PingPong wrapper = %v, %v", ms, err)
+	}
+	//lint:ignore SA1019 the deprecated wrappers are this test's subject
+	res, err := tooleval.Run("sun-ethernet", "pvm", tooleval.RunConfig{Procs: 2},
+		func(c *tooleval.Ctx) (any, error) { return c.Rank(), nil })
+	if err != nil || res.Value.(int) != 0 {
+		t.Fatalf("Run wrapper = %+v, %v", res, err)
+	}
+	//lint:ignore SA1019 the deprecated wrappers are this test's subject
+	if hits, misses := tooleval.SchedulerStats(); hits < 0 || misses < 1 {
+		t.Fatalf("SchedulerStats = %d, %d; the wrapper calls above must have simulated", hits, misses)
 	}
 }
