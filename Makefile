@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test vet bench-smoke bench-baseline
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# bench-smoke compiles and runs every benchmark for exactly one
+# iteration — the CI guard against benchmark bit-rot.
+bench-smoke:
+	$(GO) test -run=NoSuchTest -bench=. -benchtime=1x ./...
+
+# bench-baseline records the current figure + engine benchmark numbers
+# into BENCH_PR3.json under the "pr3" label (see scripts/record_bench.sh).
+bench-baseline:
+	./scripts/record_bench.sh pr3

@@ -25,13 +25,15 @@ import (
 
 const benchScale = 0.1 // APL workload scale for benchmark iterations
 
-// benchCtx and benchH serve the figure benchmarks: one package-wide
-// harness keeps the memoization behavior the old process-global runner
-// gave repeated iterations (iteration 1 simulates, the rest replay).
-var (
-	benchCtx = context.Background()
-	benchH   = bench.NewHarness(runner.New(0))
-)
+var benchCtx = context.Background()
+
+// newBenchHarness returns the calling benchmark's private harness:
+// iteration 1 simulates, later iterations replay its memoization cache.
+// Unlike a package-wide shared harness, a benchmark never starts with
+// cells some earlier benchmark already simulated, so first-iteration
+// numbers (scripts/record_bench.sh records with -benchtime=1x) measure
+// the simulator rather than the cache.
+func newBenchHarness() *bench.Harness { return bench.NewHarness(runner.New(0)) }
 
 func mustPf(b *testing.B, key string) platform.Platform {
 	b.Helper()
@@ -44,9 +46,11 @@ func mustPf(b *testing.B, key string) platform.Platform {
 
 // BenchmarkTable3 regenerates the snd/recv timing table (Table 3).
 func BenchmarkTable3(b *testing.B) {
+	h := newBenchHarness()
+	b.ReportAllocs()
 	var last *bench.Table3Result
 	for i := 0; i < b.N; i++ {
-		t3, err := benchH.Table3(benchCtx)
+		t3, err := h.Table3(benchCtx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -58,21 +62,23 @@ func BenchmarkTable3(b *testing.B) {
 
 // BenchmarkTable4 regenerates the primitive rankings (Table 4).
 func BenchmarkTable4(b *testing.B) {
+	h := newBenchHarness()
+	b.ReportAllocs()
 	var rankings []core.PrimitiveRanking
 	for i := 0; i < b.N; i++ {
-		t3, err := benchH.Table3(benchCtx)
+		t3, err := h.Table3(benchCtx)
 		if err != nil {
 			b.Fatal(err)
 		}
-		fig2, err := benchH.Fig2(benchCtx, 4)
+		fig2, err := h.Fig2(benchCtx, 4)
 		if err != nil {
 			b.Fatal(err)
 		}
-		fig3, err := benchH.Fig3(benchCtx, 4)
+		fig3, err := h.Fig3(benchCtx, 4)
 		if err != nil {
 			b.Fatal(err)
 		}
-		fig4, err := benchH.Fig4(benchCtx, 4)
+		fig4, err := h.Fig4(benchCtx, 4)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -83,10 +89,12 @@ func BenchmarkTable4(b *testing.B) {
 
 // BenchmarkFig2Broadcast regenerates the broadcast figure.
 func BenchmarkFig2Broadcast(b *testing.B) {
+	h := newBenchHarness()
+	b.ReportAllocs()
 	var fig *bench.FigureResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		fig, err = benchH.Fig2(benchCtx, 4)
+		fig, err = h.Fig2(benchCtx, 4)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -97,10 +105,12 @@ func BenchmarkFig2Broadcast(b *testing.B) {
 
 // BenchmarkFig3Ring regenerates the ring figure.
 func BenchmarkFig3Ring(b *testing.B) {
+	h := newBenchHarness()
+	b.ReportAllocs()
 	var fig *bench.FigureResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		fig, err = benchH.Fig3(benchCtx, 4)
+		fig, err = h.Fig3(benchCtx, 4)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -111,10 +121,12 @@ func BenchmarkFig3Ring(b *testing.B) {
 
 // BenchmarkFig4GlobalSum regenerates the global summation figure.
 func BenchmarkFig4GlobalSum(b *testing.B) {
+	h := newBenchHarness()
+	b.ReportAllocs()
 	var fig *bench.FigureResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		fig, err = benchH.Fig4(benchCtx, 4)
+		fig, err = h.Fig4(benchCtx, 4)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -134,10 +146,12 @@ func lastY(fig *bench.FigureResult, tool string) float64 {
 
 func benchAPLFigure(b *testing.B, figID string) {
 	b.Helper()
+	h := newBenchHarness()
+	b.ReportAllocs()
 	var fig *bench.FigureResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		fig, _, err = benchH.APLFigure(benchCtx, figID, benchScale)
+		fig, _, err = h.APLFigure(benchCtx, figID, benchScale)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -165,6 +179,7 @@ func BenchmarkADLEvaluation(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, profile := range core.Profiles() {
 			m, err := core.New(profile)
@@ -334,12 +349,13 @@ func BenchmarkAblationPVMRTO(b *testing.B) {
 // ring time per station as the segment gets busier.
 func BenchmarkAblationEthernetContention(b *testing.B) {
 	pf := mustPf(b, "sun-ethernet")
+	h := newBenchHarness()
 	for _, procs := range []int{2, 4, 8} {
 		procs := procs
 		b.Run(procLabel(procs), func(b *testing.B) {
 			var ms float64
 			for i := 0; i < b.N; i++ {
-				times, err := benchH.Ring(benchCtx, pf, "p4", procs, []int{32 << 10})
+				times, err := h.Ring(benchCtx, pf, "p4", procs, []int{32 << 10})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -362,6 +378,7 @@ func BenchmarkAblationFDDISwitchVsRing(b *testing.B) {
 		{"switched", func(n int) simnet.Network { return simnet.NewFDDISwitched(n) }},
 		{"token-ring", func(n int) simnet.Network { return simnet.NewFDDIRing(n) }},
 	}
+	h := newBenchHarness()
 	for _, v := range variants {
 		v := v
 		pf := base
@@ -369,7 +386,7 @@ func BenchmarkAblationFDDISwitchVsRing(b *testing.B) {
 		b.Run(v.name, func(b *testing.B) {
 			var secs float64
 			for i := 0; i < b.N; i++ {
-				s, err := benchH.RunAPL(benchCtx, pf, "p4", "fft2d", []int{8}, 0.5)
+				s, err := h.RunAPL(benchCtx, pf, "p4", "fft2d", []int{8}, 0.5)
 				if err != nil {
 					b.Fatal(err)
 				}

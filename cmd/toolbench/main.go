@@ -22,6 +22,8 @@
 //	             keeps every cell deterministic, so output is identical
 //	             at any -j; repeated cells (e.g. `all` followed by its
 //	             closing report) are memoized and simulate once.
+//	-cpuprofile f  write a CPU profile of the sweep to f (pprof format)
+//	-memprofile f  write a heap profile taken after the sweep to f
 //
 // Every invocation builds one tooleval.Session from the flags and runs
 // the experiments through it; Ctrl-C cancels the session's context and
@@ -37,6 +39,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"syscall"
 
@@ -56,18 +59,20 @@ func main() {
 }
 
 type config struct {
-	scale   float64
-	outDir  string
-	profile string
-	chart   bool
-	format  string
-	jobs    int
+	scale      float64
+	outDir     string
+	profile    string
+	chart      bool
+	format     string
+	jobs       int
+	cpuprofile string
+	memprofile string
 }
 
 // experiments lists the experiment ids in paper order.
 func experiments() []string { return tooleval.Experiments() }
 
-func run(ctx context.Context, args []string, w io.Writer) error {
+func run(ctx context.Context, args []string, w io.Writer) (err error) {
 	fs := flag.NewFlagSet("toolbench", flag.ContinueOnError)
 	cfg := config{}
 	fs.Float64Var(&cfg.scale, "scale", 1.0, "workload scale for APL figures (1.0 = paper scale)")
@@ -76,6 +81,8 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	fs.BoolVar(&cfg.chart, "chart", false, "render figures as ASCII charts instead of tables")
 	fs.StringVar(&cfg.format, "format", "text", `report rendering for report/all: "text" or "json"`)
 	fs.IntVar(&cfg.jobs, "j", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = serial)")
+	fs.StringVar(&cfg.cpuprofile, "cpuprofile", "", "write a CPU profile of the sweep to this file")
+	fs.StringVar(&cfg.memprofile, "memprofile", "", "write a post-sweep heap profile to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -97,6 +104,26 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		if err := os.MkdirAll(cfg.outDir, 0o755); err != nil {
 			return err
 		}
+	}
+	// Profiling hooks: perf work on the simulation core needs the real
+	// sweeps profileable, not just the Go test harness.
+	if cfg.cpuprofile != "" {
+		f, err := os.Create(cfg.cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if cfg.memprofile != "" {
+		defer func() {
+			if werr := writeHeapProfile(cfg.memprofile); werr != nil && err == nil {
+				err = werr
+			}
+		}()
 	}
 	sess := tooleval.NewSession(tooleval.WithParallelism(cfg.jobs))
 	switch exp {
@@ -132,6 +159,21 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	default:
 		return runExperiment(ctx, sess, exp, cfg, w)
 	}
+}
+
+// writeHeapProfile snapshots the live heap (after a GC, so the profile
+// reflects retained memory rather than collectable garbage) into path.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func runExperiment(ctx context.Context, sess *tooleval.Session, exp string, cfg config, w io.Writer) error {

@@ -215,3 +215,27 @@ func TestReportJSONGolden(t *testing.T) {
 		t.Fatalf("json report drifted from golden file.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
 	}
 }
+
+// TestProfilingFlags: -cpuprofile/-memprofile must produce non-empty
+// pprof files without disturbing the experiment run.
+func TestProfilingFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	if err := run(bg, []string{"-cpuprofile", cpu, "-memprofile", mem, "fig2"}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{cpu, mem} {
+		st, err := os.Stat(f)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", f)
+		}
+	}
+	// An unwritable profile path must surface as an error.
+	if err := run(bg, []string{"-cpuprofile", filepath.Join(dir, "no", "such", "dir", "p"), "fig2"}, io.Discard); err == nil {
+		t.Fatal("unwritable -cpuprofile should error")
+	}
+}

@@ -43,10 +43,21 @@ func NewEnv(eng *sim.Engine, net, loop simnet.Network, host platform.Host, n int
 // Cost converts an operation count to CPU time on this platform's host.
 func (e *Env) Cost(ops float64) time.Duration { return e.Host.CostOf(ops) }
 
-// DeliverAt schedules msg to appear in box at virtual time at.
+// DeliverAt schedules msg to appear in box at virtual time at. The
+// delivery event is closure-free (sim.AtCall with the message as the
+// argument), so the per-message scheduling cost is the message itself.
 func (e *Env) DeliverAt(at sim.Time, box *Mailbox, msg *Message) {
 	msg.DeliveredAt = at
-	e.Eng.At(at, "deliver", func() { box.Put(msg) })
+	msg.box = box
+	e.Eng.AtCall(at, "deliver", deliver, msg)
+}
+
+// deliver is the dispatch target of DeliverAt events.
+func deliver(arg any) {
+	msg := arg.(*Message)
+	box := msg.box
+	msg.box = nil
+	box.Put(msg)
 }
 
 // CloneData copies a payload at an ownership boundary.

@@ -17,9 +17,15 @@ type Mailbox struct {
 	eng     *sim.Engine
 	msgs    []*Message
 	waiters []*mboxWaiter
+	// freeW recycles waiter records across blocking receives and
+	// reasons memoizes the park-reason strings per (src, tag), so the
+	// selective-receive hot path allocates nothing in steady state.
+	freeW   []*mboxWaiter
+	reasons map[[2]int]string
 }
 
 type mboxWaiter struct {
+	m        *Mailbox
 	src, tag int
 	p        *sim.Proc
 	got      *Message
@@ -79,19 +85,63 @@ func (m *Mailbox) GetDeadline(p *sim.Proc, src, tag int, timeout time.Duration) 
 			return msg, true
 		}
 	}
-	w := &mboxWaiter{src: src, tag: tag, p: p}
+	w := m.newWaiter(p, src, tag)
 	m.waiters = append(m.waiters, w)
 	if timeout >= 0 {
-		m.eng.After(timeout, "mbox-timeout", func() {
-			if !w.done {
-				w.done = true
-				m.compactWaiters()
-				m.eng.Unpark(p)
-			}
-		})
+		m.eng.AtCall(m.eng.Now().Add(timeout), "mbox-timeout", expireWaiter, w)
 	}
-	p.Park("recv src=" + itoa(src) + " tag=" + itoa(tag))
-	return w.got, w.got != nil
+	p.Park(m.recvReason(src, tag))
+	got := w.got
+	// Recycle the waiter unless a still-pending timeout event references
+	// it (message arrived first): reusing it then would let the stale
+	// timeout cancel an unrelated later receive.
+	if timeout < 0 || got == nil {
+		*w = mboxWaiter{}
+		m.freeW = append(m.freeW, w)
+	}
+	return got, got != nil
+}
+
+// expireWaiter is the dispatch target of mbox-timeout events.
+func expireWaiter(arg any) {
+	w := arg.(*mboxWaiter)
+	if w.done || w.m == nil {
+		return // already matched (or the waiter was recycled)
+	}
+	w.done = true
+	w.m.compactWaiters()
+	w.m.eng.Unpark(w.p)
+}
+
+// newWaiter takes a waiter record off the free list or allocates one.
+func (m *Mailbox) newWaiter(p *sim.Proc, src, tag int) *mboxWaiter {
+	var w *mboxWaiter
+	if n := len(m.freeW); n > 0 {
+		w = m.freeW[n-1]
+		m.freeW[n-1] = nil
+		m.freeW = m.freeW[:n-1]
+	} else {
+		w = new(mboxWaiter)
+	}
+	*w = mboxWaiter{m: m, src: src, tag: tag, p: p}
+	return w
+}
+
+// recvReason memoizes the park-reason string for a (src, tag) pattern:
+// selective receives park constantly with a small set of patterns, and
+// rebuilding the string each time would put two itoa calls and a concat
+// on the hot path.
+func (m *Mailbox) recvReason(src, tag int) string {
+	key := [2]int{src, tag}
+	if s, ok := m.reasons[key]; ok {
+		return s
+	}
+	if m.reasons == nil {
+		m.reasons = make(map[[2]int]string)
+	}
+	s := "recv src=" + itoa(src) + " tag=" + itoa(tag)
+	m.reasons[key] = s
+	return s
 }
 
 func (m *Mailbox) compactWaiters() {

@@ -48,6 +48,11 @@ type Message struct {
 	// SentAt is when the sending task issued the send; DeliveredAt is
 	// when the message became visible to the receiving task.
 	SentAt, DeliveredAt sim.Time
+	// box carries the destination mailbox while the message rides an
+	// in-flight delivery event (see Env.DeliverAt): storing it here lets
+	// the delivery be a single closure-free sim.AtCall with the message
+	// as the only argument.
+	box *Mailbox
 }
 
 // Comm is the per-rank endpoint of a message-passing tool, the common

@@ -49,7 +49,13 @@ func Run(pf platform.Platform, makeTool Factory, cfg RunConfig, body Body) (*Run
 	if cfg.Procs < 1 {
 		return nil, fmt.Errorf("mpt: RunConfig.Procs = %d, need >= 1", cfg.Procs)
 	}
-	eng := sim.NewEngine()
+	// Engines are pooled across runs: a benchmark sweep executes
+	// hundreds of independent cells, and reusing the event queue and
+	// free-list storage keeps the sweep's steady state allocation-free.
+	// Reset-on-release guarantees a pooled engine is observationally
+	// identical to a fresh one, so memoized results stay deterministic.
+	eng := sim.AcquireEngine()
+	defer eng.Release()
 	if cfg.Trace != nil {
 		eng.SetTrace(cfg.Trace)
 	}
@@ -76,7 +82,7 @@ func Run(pf platform.Platform, makeTool Factory, cfg RunConfig, body Body) (*Run
 	)
 	for rank := 0; rank < cfg.Procs; rank++ {
 		rank := rank
-		eng.Spawn(fmt.Sprintf("rank%d", rank), func(p *sim.Proc) {
+		eng.Spawn("rank"+itoa(rank), func(p *sim.Proc) {
 			comm := tool.NewComm(p, rank)
 			ctx := &Ctx{P: p, Comm: comm, Host: pf.Host, Rng: rand.New(rand.NewSource(cfg.Seed + int64(rank)))}
 			// Zero-cost start barrier: timing begins when every rank is

@@ -113,6 +113,24 @@ func (c *Cache) Len() int {
 	return len(c.m)
 }
 
+// Reset drops every memoized cell and zeroes the hit/miss counters,
+// returning the cache to its freshly-constructed state. It is the
+// building block for eviction policies on long-lived shared caches
+// (ROADMAP), which otherwise grow without bound by design.
+//
+// Reset is safe concurrently with in-flight Memo calls: a computation
+// that was published before the Reset still completes and wakes every
+// waiter already coalesced onto it — the entry is merely no longer
+// findable, so later calls for the same key recompute (correctly, since
+// cells are deterministic).
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	c.m = make(map[Key]*entry)
+	c.mu.Unlock()
+	c.hits.Store(0)
+	c.misses.Store(0)
+}
+
 // Observer is notified after each Memo call resolves: cached reports
 // whether the cell was served from the cache (or coalesced onto an
 // in-flight computation) rather than simulated by this call. Observers

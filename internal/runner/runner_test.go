@@ -397,3 +397,78 @@ func TestKeyString(t *testing.T) {
 		t.Fatalf("Key.String() = %q, want %q", got, want)
 	}
 }
+
+func TestCacheLenAndReset(t *testing.T) {
+	c := NewCache()
+	if c.Len() != 0 {
+		t.Fatalf("fresh cache Len = %d, want 0", c.Len())
+	}
+	r := New(2, WithCache(c))
+	var calls atomic.Int64
+	compute := func() (float64, error) {
+		calls.Add(1)
+		return 1, nil
+	}
+	for i := 0; i < 3; i++ {
+		key := Key{Bench: "cell", Size: i}
+		if _, err := r.Memo(bg, key, compute); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Memo(bg, key, compute); err != nil { // hit
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 3 {
+		t.Fatalf("cache Len = %d after 3 distinct cells, want 3", c.Len())
+	}
+	if st := c.Stats(); st.Misses != 3 || st.Hits != 3 {
+		t.Fatalf("Stats = %+v, want 3 misses / 3 hits", st)
+	}
+
+	c.Reset()
+	if c.Len() != 0 {
+		t.Fatalf("cache Len = %d after Reset, want 0", c.Len())
+	}
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("Stats = %+v after Reset, want zeroes", st)
+	}
+	// Dropped cells recompute (deterministically) on the next request.
+	if _, err := r.Memo(bg, Key{Bench: "cell", Size: 0}, compute); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 4 {
+		t.Fatalf("compute ran %d times, want 4 (3 before Reset + 1 after)", got)
+	}
+	if st := c.Stats(); st.Misses != 1 {
+		t.Fatalf("post-Reset Stats = %+v, want exactly 1 miss", st)
+	}
+}
+
+func TestCacheResetDoesNotStrandInFlight(t *testing.T) {
+	c := NewCache()
+	r := New(4, WithCache(c))
+	started := make(chan struct{})
+	release := make(chan struct{})
+	key := Key{Bench: "inflight"}
+	done := make(chan float64, 1)
+	go func() {
+		v, _ := r.Memo(bg, key, func() (float64, error) {
+			close(started)
+			<-release
+			return 9, nil
+		})
+		done <- v
+	}()
+	<-started
+	c.Reset() // drops the in-flight entry from the map
+	close(release)
+	if v := <-done; v != 9 {
+		t.Fatalf("in-flight Memo = %v after Reset, want 9", v)
+	}
+	// The entry was dropped, so a later call recomputes rather than
+	// waiting on anything stale.
+	v, err := r.Memo(bg, key, func() (float64, error) { return 11, nil })
+	if err != nil || v != 11 {
+		t.Fatalf("post-Reset Memo = %v, %v, want 11", v, err)
+	}
+}

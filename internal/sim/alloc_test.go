@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// The engine's zero-alloc guarantee: once the free list and queue are
+// warm, scheduling and dispatching wake-class events (Sleep, Unpark)
+// allocates nothing per event. These budgets are deliberately far below
+// one allocation per event — if the fast path regresses to even a single
+// alloc per Sleep, the measured count jumps by thousands.
+
+func TestSleepSteadyStateZeroAlloc(t *testing.T) {
+	const (
+		procs  = 4
+		sleeps = 2000
+	)
+	e := NewEngine()
+	storm := func() {
+		runStorm(t, e, procs, sleeps)
+		e.Reset()
+	}
+	storm() // warm the free list and heap storage
+	avg := testing.AllocsPerRun(5, storm)
+	// The per-run fixed cost is the 4 Spawns (Proc, channel, goroutine);
+	// the 8000 Sleep events must contribute zero.
+	if avg > 100 {
+		t.Fatalf("sleep storm allocated %.0f objects per run (budget 100 for %d events): the zero-alloc fast path regressed",
+			avg, procs*sleeps)
+	}
+}
+
+func TestUnparkSteadyStateZeroAlloc(t *testing.T) {
+	const (
+		waiters = 8
+		rounds  = 1000
+	)
+	e := NewEngine()
+	fanout := func() {
+		runFanout(t, e, waiters, rounds)
+		e.Reset()
+	}
+	fanout()
+	avg := testing.AllocsPerRun(5, fanout)
+	if avg > 100 {
+		t.Fatalf("unpark fanout allocated %.0f objects per run (budget 100 for %d wakes): the zero-alloc fast path regressed",
+			avg, waiters*rounds)
+	}
+}
+
+func TestAtCallSteadyStateZeroAlloc(t *testing.T) {
+	e := NewEngine()
+	sink := 0
+	bump := func(any) { sink++ }
+	flood := func() {
+		for k := 0; k < 5000; k++ {
+			e.AtCall(Time(k%97)*Time(time.Microsecond), "flood", bump, nil)
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		e.Reset()
+	}
+	flood()
+	avg := testing.AllocsPerRun(5, flood)
+	if avg > 50 {
+		t.Fatalf("AtCall flood allocated %.0f objects per run (budget 50 for 5000 events): the closure-free path regressed", avg)
+	}
+}
+
+// traceOf runs a canonical mixed workload (sleeps, parks, unparks,
+// events, an exiting child) on e and returns its full trace.
+func traceOf(t *testing.T, e *Engine) []TraceEvent {
+	t.Helper()
+	var tr []TraceEvent
+	e.SetTrace(func(ev TraceEvent) { tr = append(tr, ev) })
+	var q WaitQ
+	e.Spawn("sleeper", func(p *Proc) {
+		for k := 0; k < 3; k++ {
+			p.Sleep(time.Duration(k+1) * time.Millisecond)
+		}
+	})
+	e.Spawn("waiter", func(p *Proc) {
+		q.Wait(p, "queued")
+		p.Sleep(time.Millisecond)
+	})
+	e.Spawn("waker", func(p *Proc) {
+		p.Sleep(2 * time.Millisecond)
+		e.Spawn("child", func(c *Proc) { c.Sleep(time.Microsecond) })
+		q.WakeAll()
+	})
+	e.At(Time(5*time.Millisecond), "checkpoint", func() {})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestResetReuseIsDeterministic is the engine-pooling guarantee: a reset
+// engine must replay a workload with a bit-identical trace, as if it
+// were freshly constructed.
+func TestResetReuseIsDeterministic(t *testing.T) {
+	fresh := traceOf(t, NewEngine())
+	e := NewEngine()
+	first := traceOf(t, e)
+	e.Reset()
+	second := traceOf(t, e)
+	if !reflect.DeepEqual(fresh, first) {
+		t.Fatal("two fresh engines produced different traces")
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("reset engine replayed differently:\nfirst  %v\nsecond %v", first, second)
+	}
+}
+
+func TestResetAllowsRunAgain(t *testing.T) {
+	e := NewEngine()
+	if err := e.Run(); err != nil {
+		t.Fatalf("first Run: %v", err)
+	}
+	if err := e.Run(); err == nil {
+		t.Fatal("second Run without Reset succeeded, want error")
+	}
+	e.Reset()
+	ran := false
+	e.Spawn("again", func(p *Proc) { ran = true })
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run after Reset: %v", err)
+	}
+	if !ran {
+		t.Fatal("process did not run after Reset")
+	}
+}
+
+func TestAcquireReleaseRoundTrip(t *testing.T) {
+	for i := 0; i < 10; i++ {
+		e := AcquireEngine()
+		if e.Now() != 0 {
+			t.Fatalf("acquired engine at t=%v, want 0", e.Now())
+		}
+		n := 0
+		e.Spawn("w", func(p *Proc) {
+			p.Sleep(time.Millisecond)
+			n++
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if n != 1 {
+			t.Fatalf("n = %d, want 1", n)
+		}
+		e.Release()
+	}
+}
+
+func TestAtCallRunsWithArgument(t *testing.T) {
+	e := NewEngine()
+	got := ""
+	e.AtCall(Time(time.Millisecond), "call", func(arg any) { got = arg.(string) }, "payload")
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != "payload" {
+		t.Fatalf("AtCall arg = %q, want %q", got, "payload")
+	}
+}

@@ -1,0 +1,50 @@
+package sim
+
+import "sync"
+
+// Reset returns the engine to its initial state — virtual time zero,
+// empty queue, no processes, no trace sink, runnable again — while
+// keeping the event free list and queue storage, so a reset engine
+// schedules with a warm allocator. Reset must not be called while Run is
+// executing; any still-queued events are discarded (recycled).
+//
+// Determinism is unaffected by reuse: a reset engine is observationally
+// identical to a fresh NewEngine (time, sequence numbers and process
+// bookkeeping all restart from zero).
+func (e *Engine) Reset() {
+	es := e.queue.es
+	for i, ev := range es {
+		e.recycle(ev)
+		es[i] = nil
+	}
+	e.queue.es = es[:0]
+	for i := range e.procs {
+		e.procs[i] = nil
+	}
+	e.procs = e.procs[:0]
+	e.now, e.seq = 0, 0
+	e.trace = nil
+	e.fatal = nil
+	e.ran, e.stopping = false, false
+}
+
+// enginePool recycles engines across simulation cells: a toolbench sweep
+// runs hundreds of independent virtual-time simulations, and reusing the
+// event free list and queue storage across cells keeps the sweep's
+// steady state allocation-free instead of regrowing each engine's heap
+// from scratch.
+var enginePool = sync.Pool{New: func() any { return NewEngine() }}
+
+// AcquireEngine returns an engine in its initial state from the package
+// pool. Pair it with Release.
+func AcquireEngine() *Engine {
+	return enginePool.Get().(*Engine)
+}
+
+// Release resets e and returns it to the package pool. The caller must
+// not use e afterwards, and Run must not be executing (it may have
+// completed, or never started).
+func (e *Engine) Release() {
+	e.Reset()
+	enginePool.Put(e)
+}

@@ -2,7 +2,9 @@ package sim
 
 // eventHeap is a binary min-heap of events ordered by (time, sequence).
 // It is hand-rolled rather than using container/heap to avoid the
-// interface boxing overhead on the simulation hot path.
+// interface boxing overhead on the simulation hot path. It stores
+// pointers to engine-owned events; dispatched events return to the
+// engine's free list, so steady-state scheduling allocates nothing.
 type eventHeap struct {
 	es []*event
 }

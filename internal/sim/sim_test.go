@@ -358,3 +358,28 @@ func TestHeapRandomizedAgainstSort(t *testing.T) {
 	}
 	_ = want
 }
+
+// TestParkFromDeferDuringShutdown: a process whose deferred cleanup
+// parks again while the shutdown kill is unwinding it must not strand
+// Run — the park keeps unwinding instead of waiting for a resume that
+// can never come.
+func TestParkFromDeferDuringShutdown(t *testing.T) {
+	done := make(chan error, 1)
+	go func() {
+		e := NewEngine()
+		e.Spawn("cleanup-parker", func(p *Proc) {
+			defer p.Sleep(time.Millisecond) // parks during the kill unwind
+			p.Park("waiting forever")
+		})
+		done <- e.Run()
+	}()
+	select {
+	case err := <-done:
+		var dl *DeadlockError
+		if !errors.As(err, &dl) {
+			t.Fatalf("Run = %v, want DeadlockError", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run hung: shutdown kill deadlocked on a parking defer")
+	}
+}

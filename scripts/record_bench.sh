@@ -1,0 +1,25 @@
+#!/bin/sh
+# record_bench.sh LABEL [COUNT] — run the figure benchmarks and the
+# internal/sim engine microbenchmarks and record ns/op, B/op and
+# allocs/op under the given label in BENCH_PR3.json (see
+# scripts/benchjson). COUNT is the -benchtime for the sim
+# microbenchmarks (default 20x; the figure benchmarks always run 1x so
+# the first — and only — iteration actually simulates instead of
+# replaying the memoization cache).
+#
+# Usage, from the repository root:
+#
+#	./scripts/record_bench.sh pr3
+set -eu
+
+label="${1:?usage: record_bench.sh LABEL [COUNT]}"
+count="${2:-20x}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+echo "record_bench: figure benchmarks (-benchtime=1x)" >&2
+go test -run=NoSuchTest -bench='Table|Fig|ADL' -benchmem -benchtime=1x . >"$tmp"
+echo "record_bench: sim microbenchmarks (-benchtime=$count)" >&2
+go test -run=NoSuchTest -bench=. -benchmem -benchtime="$count" ./internal/sim >>"$tmp"
+
+go run ./scripts/benchjson -label "$label" -out BENCH_PR3.json <"$tmp"
