@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet bench-smoke bench-baseline
+.PHONY: build test vet examples bench-smoke bench-baseline
 
 build:
 	$(GO) build ./...
@@ -10,6 +10,12 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# examples builds and smoke-runs every examples/ program — the local
+# mirror of CI's examples job.
+examples:
+	$(GO) build ./examples/...
+	@set -e; for d in examples/*/; do echo "==> $$d"; $(GO) run "./$$d" > /dev/null; done
 
 # bench-smoke compiles and runs every benchmark for exactly one
 # iteration — the CI guard against benchmark bit-rot.

@@ -22,6 +22,9 @@
 //	             keeps every cell deterministic, so output is identical
 //	             at any -j; repeated cells (e.g. `all` followed by its
 //	             closing report) are memoized and simulate once.
+//	-progress    stream live figure/phase progress to stderr (one line
+//	             per table/figure starting and finishing). Stdout stays
+//	             byte-identical with and without it.
 //	-cpuprofile f  write a CPU profile of the sweep to f (pprof format)
 //	-memprofile f  write a heap profile taken after the sweep to f
 //
@@ -41,6 +44,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"sync"
 	"syscall"
 
 	"tooleval"
@@ -65,6 +69,7 @@ type config struct {
 	chart      bool
 	format     string
 	jobs       int
+	progress   bool
 	cpuprofile string
 	memprofile string
 }
@@ -72,7 +77,14 @@ type config struct {
 // experiments lists the experiment ids in paper order.
 func experiments() []string { return tooleval.Experiments() }
 
-func run(ctx context.Context, args []string, w io.Writer) (err error) {
+func run(ctx context.Context, args []string, w io.Writer) error {
+	return runIO(ctx, args, w, os.Stderr)
+}
+
+// runIO is run with the progress stream explicit, so tests can capture
+// it. Experiment output goes to w; -progress lines go to errw only —
+// w stays byte-identical whether progress is on or off.
+func runIO(ctx context.Context, args []string, w, errw io.Writer) (err error) {
 	fs := flag.NewFlagSet("toolbench", flag.ContinueOnError)
 	cfg := config{}
 	fs.Float64Var(&cfg.scale, "scale", 1.0, "workload scale for APL figures (1.0 = paper scale)")
@@ -81,6 +93,7 @@ func run(ctx context.Context, args []string, w io.Writer) (err error) {
 	fs.BoolVar(&cfg.chart, "chart", false, "render figures as ASCII charts instead of tables")
 	fs.StringVar(&cfg.format, "format", "text", `report rendering for report/all: "text" or "json"`)
 	fs.IntVar(&cfg.jobs, "j", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = serial)")
+	fs.BoolVar(&cfg.progress, "progress", false, "stream live figure/phase progress to stderr")
 	fs.StringVar(&cfg.cpuprofile, "cpuprofile", "", "write a CPU profile of the sweep to this file")
 	fs.StringVar(&cfg.memprofile, "memprofile", "", "write a post-sweep heap profile to this file")
 	if err := fs.Parse(args); err != nil {
@@ -125,7 +138,11 @@ func run(ctx context.Context, args []string, w io.Writer) (err error) {
 			}
 		}()
 	}
-	sess := tooleval.NewSession(tooleval.WithParallelism(cfg.jobs))
+	opts := []tooleval.Option{tooleval.WithParallelism(cfg.jobs)}
+	if cfg.progress {
+		opts = append(opts, tooleval.WithEvents(progressSink(errw)))
+	}
+	sess := tooleval.NewSession(opts...)
 	switch exp {
 	case "list":
 		fmt.Fprintln(w, "experiments:", experiments())
@@ -158,6 +175,29 @@ func run(ctx context.Context, args []string, w io.Writer) (err error) {
 		return runReport(ctx, sess, cfg, w)
 	default:
 		return runExperiment(ctx, sess, exp, cfg, w)
+	}
+}
+
+// progressSink renders the session's typed event stream as live
+// phase-level progress lines: long `all` sweeps show which table or
+// figure is simulating instead of going silent for the whole run.
+// Events arrive from concurrent worker goroutines, so the sink
+// serializes its writes.
+func progressSink(errw io.Writer) func(tooleval.Event) {
+	var mu sync.Mutex
+	return func(ev tooleval.Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		switch e := ev.(type) {
+		case tooleval.PhaseStart:
+			fmt.Fprintf(errw, "toolbench: %s ...\n", e.Phase)
+		case tooleval.PhaseDone:
+			if e.Err != nil {
+				fmt.Fprintf(errw, "toolbench: %s failed: %v\n", e.Phase, e.Err)
+			} else {
+				fmt.Fprintf(errw, "toolbench: %s done\n", e.Phase)
+			}
+		}
 	}
 }
 

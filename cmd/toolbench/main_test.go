@@ -239,3 +239,76 @@ func TestProfilingFlags(t *testing.T) {
 		t.Fatal("unwritable -cpuprofile should error")
 	}
 }
+
+// TestProgressStreamsToStderrOnly: -progress must narrate phase
+// lifecycle on the error stream while leaving the experiment stream
+// byte-identical to a run without the flag.
+func TestProgressStreamsToStderrOnly(t *testing.T) {
+	var plain, progressed, progress bytes.Buffer
+	if err := runIO(bg, []string{"-j", "2", "table4"}, &plain, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := runIO(bg, []string{"-j", "2", "-progress", "table4"}, &progressed, &progress); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain.Bytes(), progressed.Bytes()) {
+		t.Fatalf("-progress changed stdout:\n--- without ---\n%s\n--- with ---\n%s", plain.Bytes(), progressed.Bytes())
+	}
+	lines := progress.String()
+	// table4 regenerates Table 3 and Figures 2-4 inside its own phase.
+	for _, want := range []string{
+		"toolbench: table4 ...", "toolbench: table4 done",
+		"toolbench: table3 done", "toolbench: fig2 done",
+		"toolbench: fig3 done", "toolbench: fig4 done",
+	} {
+		if !strings.Contains(lines, want) {
+			t.Fatalf("progress stream missing %q:\n%s", want, lines)
+		}
+	}
+}
+
+// TestAllOutputIdenticalAcrossParallelism is the CLI-level determinism
+// acceptance: a full `all` sweep must emit byte-identical stdout and
+// byte-identical .dat artifacts serially and at -j 8.
+func TestAllOutputIdenticalAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full small-scale sweeps")
+	}
+	outs := map[string]*bytes.Buffer{}
+	dirs := map[string]string{}
+	for _, j := range []string{"1", "8"} {
+		var buf bytes.Buffer
+		dir := t.TempDir()
+		if err := run(bg, []string{"-j", j, "-scale", "0.05", "-out", dir, "all"}, &buf); err != nil {
+			t.Fatalf("-j %s all: %v", j, err)
+		}
+		outs[j], dirs[j] = &buf, dir
+	}
+	if !bytes.Equal(outs["1"].Bytes(), outs["8"].Bytes()) {
+		t.Fatal("`all` stdout differs between -j 1 and -j 8")
+	}
+	serialFiles, err := os.ReadDir(dirs["1"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var datSeen int
+	for _, f := range serialFiles {
+		a, err := os.ReadFile(filepath.Join(dirs["1"], f.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dirs["8"], f.Name()))
+		if err != nil {
+			t.Fatalf("artifact %s missing at -j 8: %v", f.Name(), err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("artifact %s differs between -j 1 and -j 8", f.Name())
+		}
+		if strings.HasSuffix(f.Name(), ".dat") {
+			datSeen++
+		}
+	}
+	if datSeen == 0 {
+		t.Fatal("no .dat artifacts compared")
+	}
+}

@@ -1,0 +1,33 @@
+package tooleval_test
+
+import (
+	"context"
+	"fmt"
+
+	"tooleval"
+)
+
+// ExampleSession_Stream declares a heterogeneous sweep as data and
+// consumes its results as they become ready, in spec order. Virtual
+// time makes every cell deterministic, so the output never varies.
+func ExampleSession_Stream() {
+	ctx := context.Background()
+	sess := tooleval.NewSession(tooleval.WithParallelism(2))
+	specs := []tooleval.ExperimentSpec{
+		{Kind: tooleval.KindPingPong, Platform: "sun-ethernet", Tool: "p4", Sizes: []int{0, 1 << 10, 4 << 10}},
+		{Kind: tooleval.KindRing, Platform: "sun-ethernet", Tool: "pvm", Procs: 4, Sizes: []int{1 << 10}},
+		{Kind: tooleval.KindBroadcast, Platform: "sun-atm-wan", Tool: "express", Procs: 4, Sizes: []int{0}},
+	}
+	for res, err := range sess.Stream(ctx, specs) {
+		if err != nil {
+			fmt.Println("failed:", res.Spec.Kind)
+			continue // the stream carries on with the next spec
+		}
+		fmt.Printf("%s %s/%s: %d points, slowest %.2fms\n",
+			res.Spec.Kind, res.Spec.Platform, res.Spec.Tool, len(res.Times), res.Times[len(res.Times)-1])
+	}
+	// Output:
+	// pingpong sun-ethernet/p4: 3 points, slowest 12.28ms
+	// ring sun-ethernet/pvm: 1 points, slowest 9.39ms
+	// failed: broadcast
+}

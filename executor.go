@@ -1,0 +1,95 @@
+package tooleval
+
+import (
+	"time"
+
+	"tooleval/internal/runner"
+)
+
+// Executor is the session's execution backend: the scheduler every
+// simulation cell, direct run, and fan-out goes through. The built-in
+// implementation (selected by default, configured with
+// [WithParallelism] and [WithCache]) is an in-process bounded worker
+// pool over a memoization [Cache]; [WithExecutor] swaps in another
+// implementation — a sharded pool, a remote fleet — without the
+// Session layer changing.
+//
+// See the method contracts on the interface definition. The invariants
+// an implementation must keep are: Memo is single-flight per [Cell]
+// key and never caches context errors; Map reports the lowest-index
+// error among the indices that ran; and Observe is called at most
+// once, before any work is submitted.
+type Executor = runner.Executor
+
+// CellResult is what one simulated cell reports to its Executor: the
+// measured value plus the virtual wall-clock the simulation covered
+// (the currency of [WithMaxVirtualTime] budgets).
+type CellResult = runner.CellResult
+
+// Observer is an Executor's per-cell completion callback; see
+// [Executor]'s Observe method.
+type Observer = runner.Observer
+
+// CacheStats snapshots a cache's memoization counters; see
+// [Session.Stats].
+type CacheStats = runner.Stats
+
+// ErrQuotaExceeded is the sentinel a session's exhausted resource
+// budget unwraps to; match it with errors.Is. The concrete error is
+// always a [*QuotaError].
+var ErrQuotaExceeded = runner.ErrQuotaExceeded
+
+// QuotaError reports which session budget broke and by how much.
+type QuotaError = runner.QuotaError
+
+// WithExecutor makes the session schedule through x instead of the
+// built-in worker pool. The executor owns parallelism and memoization,
+// so [WithParallelism], [WithCache], and [WithCacheCapacity] are
+// ignored when this option is present. Quota options still apply —
+// budgets wrap any executor.
+//
+// An Executor instance must be dedicated to one session: NewSession
+// installs the session's cell observer on it, so handing the same
+// instance to a second session would cross-wire their event streams.
+// To pool results across sessions, share a [Cache], not an Executor.
+func WithExecutor(x Executor) Option {
+	return func(c *sessionConfig) { c.executor = x }
+}
+
+// WithMaxCells caps how many cells the session may simulate. Cache
+// hits are free: only simulations actually executed are charged — each
+// miss, and each direct run ([Session.Run], [Session.RunWithFactory],
+// [Session.TraceRun]) — so a session replaying memoized results is not
+// billed for them. Once the budget is spent, every further cell — hit
+// or miss — fails with a [*QuotaError] matching [ErrQuotaExceeded].
+// Budgets are checked before a cell is scheduled, so the session can
+// overshoot by at most its parallelism bound (cells already in flight
+// complete and are charged). n <= 0 means unlimited.
+//
+// Quota errors are never memoized: a shared [Cache] is not poisoned by
+// one tenant's exhausted budget.
+func WithMaxCells(n int) Option {
+	return func(c *sessionConfig) { c.limits.MaxCells = int64(n) }
+}
+
+// WithMaxVirtualTime caps the summed virtual wall-clock of the cells
+// the session simulates — the discrete-event analogue of a CPU-seconds
+// budget. Charging and breach semantics match [WithMaxCells], except
+// that direct runs charge only the cell budget (they carry no
+// virtual-time report through the executor). d <= 0 means unlimited.
+func WithMaxVirtualTime(d time.Duration) Option {
+	return func(c *sessionConfig) { c.limits.MaxVirtualTime = d }
+}
+
+// WithCacheCapacity bounds the session's memoization cache to at most
+// n cells, evicting the least recently used when full. Evicted cells
+// are re-simulated on the next request — correct, since cells are
+// deterministic. Combined with [WithCache] it (re)configures the
+// shared cache; without it, it bounds the session's private cache.
+// n <= 0 means unbounded (the default — one evaluation matrix is
+// finite, so eviction only matters for long-lived shared caches).
+func WithCacheCapacity(n int) Option {
+	return func(c *sessionConfig) {
+		c.cacheCap, c.cacheCapSet = n, true
+	}
+}

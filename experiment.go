@@ -3,8 +3,6 @@ package tooleval
 import (
 	"context"
 	"fmt"
-
-	"tooleval/internal/runner"
 )
 
 // Experiment kinds accepted by ExperimentSpec.Kind.
@@ -94,17 +92,28 @@ type Result struct {
 // "the whole sweep" — callers build specs as data, Submit owns the
 // scheduling.
 //
-// The first failing spec aborts the batch, mirroring a serial loop's
-// early exit; a cancelled ctx aborts it with ctx.Err().
+// Submit is [Session.Stream] consumed to the first failure: the
+// lowest-indexed failing spec aborts the batch (specs still in flight
+// are cancelled), mirroring a serial loop's early exit; a cancelled ctx
+// aborts it with ctx.Err(). Callers who want the rest of the batch
+// despite a failure use [Session.SubmitAll]; callers who want results
+// as they complete range over Stream directly.
 func (s *Session) Submit(ctx context.Context, specs []ExperimentSpec) ([]Result, error) {
+	// Validate the whole batch up front so a malformed spec is reported
+	// before any simulation starts, whatever its position.
 	for i, spec := range specs {
 		if err := spec.validate(); err != nil {
 			return nil, fmt.Errorf("tooleval: spec %d: %w", i, err)
 		}
 	}
-	return runner.Collect(ctx, s.h.Runner(), specs, func(spec ExperimentSpec) (Result, error) {
-		return s.runSpec(ctx, spec)
-	})
+	results := make([]Result, 0, len(specs))
+	for res, err := range s.Stream(ctx, specs) {
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res)
+	}
+	return results, nil
 }
 
 func (spec ExperimentSpec) validate() error {

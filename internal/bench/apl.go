@@ -57,17 +57,17 @@ func (h *Harness) RunAPL(ctx context.Context, pf platform.Platform, toolName, ap
 			sweep = append(sweep, procs)
 		}
 	}
-	times, err := runner.Collect(ctx, h.r, sweep, func(procs int) (float64, error) {
+	times, err := runner.Collect(ctx, h.x, sweep, func(procs int) (float64, error) {
 		key := runner.Key{Platform: pf.Key, Tool: toolName, Bench: "apl/" + appName, Procs: procs, Scale: scale}
-		return h.r.Memo(ctx, key, func() (float64, error) {
+		return h.x.Memo(ctx, key, func() (runner.CellResult, error) {
 			res, err := mpt.Run(pf, factory, mpt.RunConfig{Procs: procs}, func(c *mpt.Ctx) (any, error) {
 				return app.Run(c, scale)
 			})
 			if err != nil {
-				return 0, fmt.Errorf("bench: %s/%s/%s procs=%d: %w", pf.Key, toolName, appName, procs, err)
+				return runner.CellResult{}, fmt.Errorf("bench: %s/%s/%s procs=%d: %w", pf.Key, toolName, appName, procs, err)
 			}
 			if err := app.Verify(res.Value, procs, scale); err != nil {
-				return 0, fmt.Errorf("bench: %s/%s/%s procs=%d verification: %w", pf.Key, toolName, appName, procs, err)
+				return runner.CellResult{}, fmt.Errorf("bench: %s/%s/%s procs=%d verification: %w", pf.Key, toolName, appName, procs, err)
 			}
 			secs := res.Elapsed.Seconds()
 			// Applications that time an inner phase (the FFT excludes its
@@ -77,7 +77,7 @@ func (h *Harness) RunAPL(ctx context.Context, pf platform.Platform, toolName, ap
 					secs = inner
 				}
 			}
-			return secs, nil
+			return runner.CellResult{Value: secs, Virtual: res.Elapsed}, nil
 		})
 	})
 	if err != nil {

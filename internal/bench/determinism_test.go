@@ -135,7 +135,7 @@ func TestEvaluateMemoizesAcrossSweeps(t *testing.T) {
 	if _, _, err := h.APLFigure(bgCtx, ExpFig8, scale); err != nil {
 		t.Fatal(err)
 	}
-	after := h.Runner().Stats()
+	after := h.Executor().Stats()
 	if after.Misses == 0 {
 		t.Fatal("sweep simulated nothing — stats wiring broken")
 	}
@@ -144,7 +144,7 @@ func TestEvaluateMemoizesAcrossSweeps(t *testing.T) {
 	if _, err := h.Evaluate(bgCtx, core.EndUserProfile(), scale); err != nil {
 		t.Fatal(err)
 	}
-	final := h.Runner().Stats()
+	final := h.Executor().Stats()
 	if final.Misses != after.Misses {
 		t.Fatalf("Evaluate re-simulated %d cells that were already cached", final.Misses-after.Misses)
 	}
@@ -161,12 +161,12 @@ func TestRepeatedFigureSimulatesOnce(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	misses := h.Runner().Stats().Misses
+	misses := h.Executor().Stats().Misses
 	second, err := h.Fig2(bgCtx, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := h.Runner().Stats().Misses; got != misses {
+	if got := h.Executor().Stats().Misses; got != misses {
 		t.Fatalf("second Fig2 simulated %d new cells, want 0", got-misses)
 	}
 	if len(first.Series) != len(second.Series) {

@@ -16,7 +16,9 @@ import (
 // the runner like any other cells; every simulation they need is
 // memoized, so an Evaluate following a `toolbench all` sweep re-uses
 // the sweep's results and simulates nothing.
-func (h *Harness) Evaluate(ctx context.Context, profile core.WeightProfile, scale float64) (*core.Evaluation, error) {
+func (h *Harness) Evaluate(ctx context.Context, profile core.WeightProfile, scale float64) (_ *core.Evaluation, err error) {
+	h.phaseStart(ExpReport)
+	defer h.phaseDone(ExpReport, &err)
 	var (
 		t3               *Table3Result
 		fig2, fig3, fig4 *FigureResult
@@ -24,7 +26,7 @@ func (h *Harness) Evaluate(ctx context.Context, profile core.WeightProfile, scal
 	)
 	steps := append(h.tplSteps(ctx, 4, &t3, &fig2, &fig3, &fig4),
 		func() (err error) { _, apl, err = h.APLFigure(ctx, ExpFig8, scale); return })
-	if err := h.r.Map(ctx, len(steps), func(i int) error { return steps[i]() }); err != nil {
+	if err := h.x.Map(ctx, len(steps), func(i int) error { return steps[i]() }); err != nil {
 		return nil, err
 	}
 	tpl := t3.Measurements()

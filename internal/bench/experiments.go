@@ -25,6 +25,11 @@ const (
 	ExpFig7   = "fig7"
 	ExpFig8   = "fig8"
 	ExpADL    = "adl"
+
+	// ExpReport is the phase id of the full multi-level evaluation
+	// (Harness.Evaluate). It is not a table/figure regeneration, so it
+	// is not part of Experiments().
+	ExpReport = "report"
 )
 
 // Experiments lists all experiment ids in paper order.
@@ -44,7 +49,9 @@ type Table3Result struct {
 // networks. The network×tool columns are independent sweeps, so they
 // fan out through the runner; assembly into the result maps happens
 // serially afterwards, in the fixed network/tool order.
-func (h *Harness) Table3(ctx context.Context) (*Table3Result, error) {
+func (h *Harness) Table3(ctx context.Context) (_ *Table3Result, err error) {
+	h.phaseStart(ExpTable3)
+	defer h.phaseDone(ExpTable3, &err)
 	res := &Table3Result{SizesBytes: StandardSizes(), TimesMs: map[string]map[string][]float64{}}
 	type job struct {
 		net, tool string
@@ -64,7 +71,7 @@ func (h *Harness) Table3(ctx context.Context) (*Table3Result, error) {
 			jobs = append(jobs, job{net: net, tool: tool, pf: pf})
 		}
 	}
-	times, err := runner.Collect(ctx, h.r, jobs, func(j job) ([]float64, error) {
+	times, err := runner.Collect(ctx, h.x, jobs, func(j job) ([]float64, error) {
 		return h.PingPong(ctx, j.pf, j.tool, res.SizesBytes)
 	})
 	if err != nil {
@@ -156,7 +163,9 @@ func (h *Harness) Fig3(ctx context.Context, procs int) (*FigureResult, error) {
 	return h.tplFigure(ctx, ExpFig3, "Ring (loop) timing", procs, StandardSizes(), h.Ring)
 }
 
-func (h *Harness) tplFigure(ctx context.Context, id, title string, procs int, sizes []int, run func(context.Context, platform.Platform, string, int, []int) ([]float64, error)) (*FigureResult, error) {
+func (h *Harness) tplFigure(ctx context.Context, id, title string, procs int, sizes []int, run func(context.Context, platform.Platform, string, int, []int) ([]float64, error)) (_ *FigureResult, err error) {
+	h.phaseStart(id)
+	defer h.phaseDone(id, &err)
 	fig := &FigureResult{ID: id, Title: title + " on SUN stations", XLabel: "Message Size (Kbytes)", YLabel: "Execution Time (msec)"}
 	type job struct {
 		key  string
@@ -176,7 +185,7 @@ func (h *Harness) tplFigure(ctx context.Context, id, title string, procs int, si
 			jobs = append(jobs, job{key: key, tool: tool, pf: pf})
 		}
 	}
-	curves, err := runner.Collect(ctx, h.r, jobs, func(j job) (Series, error) {
+	curves, err := runner.Collect(ctx, h.x, jobs, func(j job) (Series, error) {
 		times, err := run(ctx, j.pf, j.tool, procs, sizes)
 		if err != nil {
 			return Series{}, err
@@ -196,7 +205,9 @@ func (h *Harness) tplFigure(ctx context.Context, id, title string, procs int, si
 
 // Fig4 regenerates the global summation figure (p4 and Express on
 // Ethernet, p4 on NYNET; PVM has no global operation).
-func (h *Harness) Fig4(ctx context.Context, procs int) (*FigureResult, error) {
+func (h *Harness) Fig4(ctx context.Context, procs int) (_ *FigureResult, err error) {
+	h.phaseStart(ExpFig4)
+	defer h.phaseDone(ExpFig4, &err)
 	fig := &FigureResult{
 		ID: ExpFig4, Title: "Vector global-sum timing on SUN stations",
 		XLabel: "Vector Size (# of integers)", YLabel: "Execution Time (msec)",
@@ -220,7 +231,7 @@ func (h *Harness) Fig4(ctx context.Context, procs int) (*FigureResult, error) {
 		{label: "express", tool: "express", pf: eth},
 		{label: "p4-NYNET", tool: "p4", pf: wan},
 	}
-	curves, err := runner.Collect(ctx, h.r, jobs, func(j job) (Series, error) {
+	curves, err := runner.Collect(ctx, h.x, jobs, func(j job) (Series, error) {
 		times, err := h.GlobalSum(ctx, j.pf, j.tool, procs, lens)
 		if err != nil {
 			return Series{}, err
@@ -240,7 +251,9 @@ func (h *Harness) Fig4(ctx context.Context, procs int) (*FigureResult, error) {
 
 // APLFigure regenerates one of Figures 5-8: the four applications on one
 // platform across the tool set and processor sweep.
-func (h *Harness) APLFigure(ctx context.Context, figID string, scale float64) (*FigureResult, []core.AppMeasurement, error) {
+func (h *Harness) APLFigure(ctx context.Context, figID string, scale float64) (_ *FigureResult, _ []core.AppMeasurement, err error) {
+	h.phaseStart(figID)
+	defer h.phaseDone(figID, &err)
 	var spec *struct {
 		Figure   string
 		Platform string
@@ -275,7 +288,7 @@ func (h *Harness) APLFigure(ctx context.Context, figID string, scale float64) (*
 			jobs = append(jobs, job{app: app, tool: tool})
 		}
 	}
-	sweeps, err := runner.Collect(ctx, h.r, jobs, func(j job) (APLSeries, error) {
+	sweeps, err := runner.Collect(ctx, h.x, jobs, func(j job) (APLSeries, error) {
 		return h.RunAPL(ctx, pf, j.tool, j.app, procs, scale)
 	})
 	if err != nil {
@@ -391,13 +404,15 @@ func (h *Harness) tplSteps(ctx context.Context, procs int, t3 **Table3Result, fi
 // Table4 regenerates the primitive rankings end to end: Table 3 and
 // Figures 2-4 fan out through one Map (each internally fanning out its
 // own cells), then fold through Table4FromMeasurements.
-func (h *Harness) Table4(ctx context.Context, procs int) ([]core.PrimitiveRanking, error) {
+func (h *Harness) Table4(ctx context.Context, procs int) (_ []core.PrimitiveRanking, err error) {
+	h.phaseStart(ExpTable4)
+	defer h.phaseDone(ExpTable4, &err)
 	var (
 		t3               *Table3Result
 		fig2, fig3, fig4 *FigureResult
 	)
 	steps := h.tplSteps(ctx, procs, &t3, &fig2, &fig3, &fig4)
-	if err := h.r.Map(ctx, len(steps), func(i int) error { return steps[i]() }); err != nil {
+	if err := h.x.Map(ctx, len(steps), func(i int) error { return steps[i]() }); err != nil {
 		return nil, err
 	}
 	return Table4FromMeasurements(t3, fig2, fig3, fig4), nil

@@ -10,40 +10,72 @@ import (
 	"tooleval/internal/runner"
 )
 
-// Harness is one evaluation session's benchmark engine: a runner (the
-// parallelism bound plus memoization cache) and a tool registry. Every
-// table/figure regeneration and every micro-benchmark is a Harness
-// method, so concurrent harnesses are fully isolated — no shared
-// mutable state exists anywhere in this package.
+// Harness is one evaluation session's benchmark engine: an execution
+// backend (the parallelism bound plus memoization cache) and a tool
+// registry. Every table/figure regeneration and every micro-benchmark
+// is a Harness method, so concurrent harnesses are fully isolated — no
+// shared mutable state exists anywhere in this package.
 //
 // All methods take a context first; cancellation and deadlines are
 // observed between simulation cells (an individual cell always runs to
 // completion — it is milliseconds of virtual-time simulation).
 type Harness struct {
-	r      *runner.Runner
+	x      runner.Executor
 	custom map[string]mpt.Factory
+	hooks  Hooks
 }
 
-// NewHarness returns a Harness scheduling through r and resolving tool
+// Hooks receives the harness's phase-level notifications: one
+// PhaseStart/PhaseDone pair per table/figure regeneration (the Exp*
+// ids, plus "report" for the full multi-level evaluation). Phases nest
+// — Table4 reports its own phase and the Table 3 / Figure 2-4 phases it
+// regenerates inside. Callbacks run on whichever goroutine drives the
+// regeneration and must be safe for concurrent use; nil fields are
+// skipped.
+type Hooks struct {
+	PhaseStart func(id string)
+	PhaseDone  func(id string, err error)
+}
+
+// NewHarness returns a Harness scheduling through x and resolving tool
 // names from the built-in registry (p4, pvm, express).
-func NewHarness(r *runner.Runner) *Harness {
-	return NewHarnessWithTools(r, nil)
+func NewHarness(x runner.Executor) *Harness {
+	return NewHarnessWithTools(x, nil)
 }
 
 // NewHarnessWithTools additionally resolves the given custom factories
 // by name, ahead of the built-ins. Custom tools are considered ported
 // to every platform: they are hypothetical designs under evaluation,
 // not 1995 artifacts with a fixed port matrix.
-func NewHarnessWithTools(r *runner.Runner, custom map[string]mpt.Factory) *Harness {
-	if r == nil {
-		panic("bench: NewHarness(nil runner)")
+func NewHarnessWithTools(x runner.Executor, custom map[string]mpt.Factory) *Harness {
+	if x == nil {
+		panic("bench: NewHarness(nil executor)")
 	}
-	return &Harness{r: r, custom: custom}
+	return &Harness{x: x, custom: custom}
 }
 
-// Runner exposes the harness scheduler (for stats and direct Do/Map
-// use by the session layer).
-func (h *Harness) Runner() *runner.Runner { return h.r }
+// SetHooks installs the phase observation callbacks. Call it before
+// submitting work; the harness reads the hooks without locking.
+func (h *Harness) SetHooks(hooks Hooks) { h.hooks = hooks }
+
+// Executor exposes the harness's execution backend (for stats and
+// direct Do/Map use by the session layer).
+func (h *Harness) Executor() runner.Executor { return h.x }
+
+// phaseStart reports a table/figure regeneration beginning.
+func (h *Harness) phaseStart(id string) {
+	if h.hooks.PhaseStart != nil {
+		h.hooks.PhaseStart(id)
+	}
+}
+
+// phaseDone reports a regeneration finishing; defer it with a pointer
+// to the method's named error so the outcome travels with the event.
+func (h *Harness) phaseDone(id string, errp *error) {
+	if h.hooks.PhaseDone != nil {
+		h.hooks.PhaseDone(id, *errp)
+	}
+}
 
 // FactoryFor resolves a tool name: custom registrations first, then the
 // built-in catalog.

@@ -54,9 +54,9 @@ func (h *Harness) PingPong(ctx context.Context, pf platform.Platform, toolName s
 	if err != nil {
 		return nil, err
 	}
-	return runner.Collect(ctx, h.r, sizes, func(size int) (float64, error) {
+	return runner.Collect(ctx, h.x, sizes, func(size int) (float64, error) {
 		key := runner.Key{Platform: pf.Key, Tool: toolName, Bench: "pingpong", Procs: 2, Size: size}
-		return h.r.Memo(ctx, key, func() (float64, error) {
+		return h.x.Memo(ctx, key, func() (runner.CellResult, error) {
 			payload := testPayload(size)
 			res, err := mpt.Run(pf, factory, mpt.RunConfig{Procs: 2}, func(c *mpt.Ctx) (any, error) {
 				const tag = 1
@@ -81,13 +81,13 @@ func (h *Harness) PingPong(ctx context.Context, pf platform.Platform, toolName s
 				return nil, c.Comm.Send(0, tag, msg.Data)
 			})
 			if err != nil {
-				return 0, fmt.Errorf("ping-pong %s/%s size %d: %w", pf.Key, toolName, size, err)
+				return runner.CellResult{}, fmt.Errorf("ping-pong %s/%s size %d: %w", pf.Key, toolName, size, err)
 			}
 			ms, ok := res.Value.(float64)
 			if !ok {
-				return 0, fmt.Errorf("ping-pong %s/%s: no timing value", pf.Key, toolName)
+				return runner.CellResult{}, fmt.Errorf("ping-pong %s/%s: no timing value", pf.Key, toolName)
 			}
-			return ms, nil
+			return runner.CellResult{Value: ms, Virtual: res.Elapsed}, nil
 		})
 	})
 }
@@ -100,9 +100,9 @@ func (h *Harness) Broadcast(ctx context.Context, pf platform.Platform, toolName 
 	if err != nil {
 		return nil, err
 	}
-	return runner.Collect(ctx, h.r, sizes, func(size int) (float64, error) {
+	return runner.Collect(ctx, h.x, sizes, func(size int) (float64, error) {
 		key := runner.Key{Platform: pf.Key, Tool: toolName, Bench: "broadcast", Procs: procs, Size: size}
-		return h.r.Memo(ctx, key, func() (float64, error) {
+		return h.x.Memo(ctx, key, func() (runner.CellResult, error) {
 			payload := testPayload(size)
 			res, err := mpt.Run(pf, factory, mpt.RunConfig{Procs: procs}, func(c *mpt.Ctx) (any, error) {
 				var in []byte
@@ -119,9 +119,9 @@ func (h *Harness) Broadcast(ctx context.Context, pf platform.Platform, toolName 
 				return nil, nil
 			})
 			if err != nil {
-				return 0, fmt.Errorf("broadcast %s/%s size %d: %w", pf.Key, toolName, size, err)
+				return runner.CellResult{}, fmt.Errorf("broadcast %s/%s size %d: %w", pf.Key, toolName, size, err)
 			}
-			return float64(res.Elapsed) / float64(time.Millisecond), nil
+			return runner.CellResult{Value: float64(res.Elapsed) / float64(time.Millisecond), Virtual: res.Elapsed}, nil
 		})
 	})
 }
@@ -137,9 +137,9 @@ func (h *Harness) Ring(ctx context.Context, pf platform.Platform, toolName strin
 	if err != nil {
 		return nil, err
 	}
-	return runner.Collect(ctx, h.r, sizes, func(size int) (float64, error) {
+	return runner.Collect(ctx, h.x, sizes, func(size int) (float64, error) {
 		key := runner.Key{Platform: pf.Key, Tool: toolName, Bench: "ring", Procs: procs, Size: size}
-		return h.r.Memo(ctx, key, func() (float64, error) {
+		return h.x.Memo(ctx, key, func() (runner.CellResult, error) {
 			payload := testPayload(size)
 			res, err := mpt.Run(pf, factory, mpt.RunConfig{Procs: procs}, func(c *mpt.Ctx) (any, error) {
 				const tag = 3
@@ -158,9 +158,9 @@ func (h *Harness) Ring(ctx context.Context, pf platform.Platform, toolName strin
 				return nil, nil
 			})
 			if err != nil {
-				return 0, fmt.Errorf("ring %s/%s size %d: %w", pf.Key, toolName, size, err)
+				return runner.CellResult{}, fmt.Errorf("ring %s/%s size %d: %w", pf.Key, toolName, size, err)
 			}
-			return float64(res.Elapsed) / float64(time.Millisecond), nil
+			return runner.CellResult{Value: float64(res.Elapsed) / float64(time.Millisecond), Virtual: res.Elapsed}, nil
 		})
 	})
 }
@@ -173,9 +173,9 @@ func (h *Harness) GlobalSum(ctx context.Context, pf platform.Platform, toolName 
 	if err != nil {
 		return nil, err
 	}
-	return runner.Collect(ctx, h.r, vectorLens, func(n int) (float64, error) {
+	return runner.Collect(ctx, h.x, vectorLens, func(n int) (float64, error) {
 		key := runner.Key{Platform: pf.Key, Tool: toolName, Bench: "globalsum", Procs: procs, Size: n}
-		return h.r.Memo(ctx, key, func() (float64, error) {
+		return h.x.Memo(ctx, key, func() (runner.CellResult, error) {
 			res, err := mpt.Run(pf, factory, mpt.RunConfig{Procs: procs}, func(c *mpt.Ctx) (any, error) {
 				vec := make([]int64, n)
 				for i := range vec {
@@ -191,9 +191,9 @@ func (h *Harness) GlobalSum(ctx context.Context, pf platform.Platform, toolName 
 				return nil, nil
 			})
 			if err != nil {
-				return 0, fmt.Errorf("global sum %s/%s n=%d: %w", pf.Key, toolName, n, err)
+				return runner.CellResult{}, fmt.Errorf("global sum %s/%s n=%d: %w", pf.Key, toolName, n, err)
 			}
-			return float64(res.Elapsed) / float64(time.Millisecond), nil
+			return runner.CellResult{Value: float64(res.Elapsed) / float64(time.Millisecond), Virtual: res.Elapsed}, nil
 		})
 	})
 }

@@ -1,0 +1,146 @@
+package runner
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// entry is one memoized cell. done is closed once val/err are final, so
+// latecomers for an in-flight cell block instead of re-simulating. el
+// is the entry's node in the cache's recency list — always non-nil,
+// maintained even while the cache is unbounded so that SetCapacity can
+// start evicting in true LRU order at any point in the cache's life.
+type entry struct {
+	done chan struct{}
+	val  float64
+	err  error
+	el   *list.Element
+}
+
+// Cache is the memoization store for experiment cells. It is safe for
+// concurrent use and may be shared between Runners (sessions that want
+// to pool their simulation results while keeping independent
+// parallelism bounds). The zero value is not usable; call NewCache.
+//
+// By default a Cache grows without bound — the paper's evaluation
+// matrix is finite, so for one sweep that is the right policy. Long-
+// lived shared caches (a multi-tenant server memoizing across sessions)
+// can bound it with SetCapacity, which turns the store into an LRU:
+// inserting beyond the capacity evicts the least-recently-used
+// completed cell. Evicted cells are recomputed on next request —
+// correct, since cells are deterministic.
+type Cache struct {
+	mu       sync.Mutex
+	m        map[Key]*entry
+	capacity int        // 0 = unbounded
+	order    *list.List // of Key; front = most recently used
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// NewCache returns an empty, unbounded cell cache.
+func NewCache() *Cache {
+	return &Cache{m: make(map[Key]*entry), order: list.New()}
+}
+
+// NewCacheWithCapacity returns an empty cache bounded to at most n
+// memoized cells (LRU eviction). n <= 0 means unbounded.
+func NewCacheWithCapacity(n int) *Cache {
+	c := NewCache()
+	c.SetCapacity(n)
+	return c
+}
+
+// SetCapacity bounds the cache to at most n cells, evicting the
+// least-recently-used completed cells immediately if it already holds
+// more. n <= 0 removes the bound. Cells whose computation is still in
+// flight are never evicted — single-flight coalescing stays intact — so
+// the cache may transiently exceed n by the number of in-flight cells.
+func (c *Cache) SetCapacity(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.capacity = n
+	c.evictLocked()
+}
+
+// Capacity reports the configured bound (0 = unbounded).
+func (c *Cache) Capacity() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.capacity
+}
+
+// evictLocked drops least-recently-used completed cells until the cache
+// fits its capacity. Dropping a completed entry is safe concurrently
+// with readers that already hold it: they block on its done channel (or
+// have read val/err), never on map membership. In-flight entries are
+// skipped so coalesced waiters keep finding them.
+func (c *Cache) evictLocked() {
+	if c.capacity <= 0 {
+		return
+	}
+	for el := c.order.Back(); el != nil && len(c.m) > c.capacity; {
+		prev := el.Prev()
+		key := el.Value.(Key)
+		e := c.m[key]
+		select {
+		case <-e.done: // completed: evictable
+			delete(c.m, key)
+			c.order.Remove(el)
+		default: // in flight: keep
+		}
+		el = prev
+	}
+}
+
+// lookupLocked finds key and marks it most recently used.
+func (c *Cache) lookupLocked(key Key) (*entry, bool) {
+	e, ok := c.m[key]
+	if ok {
+		c.order.MoveToFront(e.el)
+	}
+	return e, ok
+}
+
+// insertLocked publishes a fresh in-flight entry for key and evicts if
+// the insertion crossed the capacity.
+func (c *Cache) insertLocked(key Key) *entry {
+	e := &entry{done: make(chan struct{})}
+	e.el = c.order.PushFront(key)
+	c.m[key] = e
+	c.evictLocked()
+	return e
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() Stats {
+	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+}
+
+// Len reports how many cells are memoized or in flight.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Reset drops every memoized cell and zeroes the hit/miss counters,
+// returning the cache to its freshly-constructed state (the configured
+// capacity survives). It is the drop-everything eviction policy for
+// long-lived shared caches; SetCapacity is the incremental one.
+//
+// Reset is safe concurrently with in-flight Memo calls: a computation
+// that was published before the Reset still completes and wakes every
+// waiter already coalesced onto it — the entry is merely no longer
+// findable, so later calls for the same key recompute (correctly, since
+// cells are deterministic).
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	c.m = make(map[Key]*entry)
+	c.order.Init()
+	c.mu.Unlock()
+	c.hits.Store(0)
+	c.misses.Store(0)
+}

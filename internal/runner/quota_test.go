@@ -1,0 +1,217 @@
+package runner
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestQuotaZeroLimitsIsTransparent(t *testing.T) {
+	r := New(2)
+	if x := NewQuota(r, Limits{}); x != Executor(r) {
+		t.Fatal("zero Limits must return the base executor unwrapped")
+	}
+}
+
+func TestQuotaMaxCells(t *testing.T) {
+	r := New(2)
+	x := NewQuota(r, Limits{MaxCells: 2})
+	for i := 0; i < 2; i++ {
+		if _, err := x.Memo(bg, Key{Bench: "cell", Size: i}, func() (CellResult, error) {
+			return CellResult{Value: 1}, nil
+		}); err != nil {
+			t.Fatalf("cell %d within budget: %v", i, err)
+		}
+	}
+	// Budget spent: the next cell — even one already cached — is refused.
+	_, err := x.Memo(bg, Key{Bench: "cell", Size: 0}, func() (CellResult, error) {
+		t.Fatal("compute must not run past the budget")
+		return CellResult{}, nil
+	})
+	if !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("Memo past budget = %v, want ErrQuotaExceeded", err)
+	}
+	var qe *QuotaError
+	if !errors.As(err, &qe) || qe.Resource != "cells" || qe.Used != 2 || qe.Limit != 2 {
+		t.Fatalf("QuotaError = %+v", qe)
+	}
+	if !strings.Contains(err.Error(), "cells") {
+		t.Fatalf("error text %q does not name the resource", err)
+	}
+	if err := x.Do(bg, func() error { t.Fatal("Do must not run past the budget"); return nil }); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("Do past budget = %v, want ErrQuotaExceeded", err)
+	}
+}
+
+func TestQuotaHitsAreFree(t *testing.T) {
+	r := New(2)
+	x := NewQuota(r, Limits{MaxCells: 1})
+	key := Key{Bench: "free-hit"}
+	compute := func() (CellResult, error) { return CellResult{Value: 3}, nil }
+	if _, err := x.Memo(bg, key, compute); err != nil {
+		t.Fatal(err)
+	}
+	// Only simulations charge a budget. Demonstrate it before
+	// exhaustion (a spent budget refuses even hits): with budget 2, a
+	// hit between two misses does not consume a cell.
+	y := NewQuota(New(2, WithCache(r.Cache())), Limits{MaxCells: 2})
+	if _, err := y.Memo(bg, key, compute); err != nil { // hit: free
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := y.Memo(bg, Key{Bench: "free-hit", Size: i + 1}, compute); err != nil {
+			t.Fatalf("miss %d: budget 2 must admit 2 simulations after a free hit: %v", i, err)
+		}
+	}
+}
+
+func TestQuotaMaxVirtualTime(t *testing.T) {
+	r := New(1)
+	x := NewQuota(r, Limits{MaxVirtualTime: 50 * time.Millisecond})
+	// First cell charges 40ms virtual: under budget, admitted.
+	if _, err := x.Memo(bg, Key{Bench: "vt", Size: 0}, func() (CellResult, error) {
+		return CellResult{Value: 1, Virtual: 40 * time.Millisecond}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Second charges 40ms more, overshooting to 80ms — in-flight work
+	// completes and is charged.
+	if _, err := x.Memo(bg, Key{Bench: "vt", Size: 1}, func() (CellResult, error) {
+		return CellResult{Value: 1, Virtual: 40 * time.Millisecond}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Now the budget is exhausted: refused before scheduling.
+	_, err := x.Memo(bg, Key{Bench: "vt", Size: 2}, func() (CellResult, error) {
+		t.Fatal("compute must not run past the virtual-time budget")
+		return CellResult{}, nil
+	})
+	if !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("Memo past virtual budget = %v, want ErrQuotaExceeded", err)
+	}
+	var qe *QuotaError
+	if !errors.As(err, &qe) || qe.Resource != "virtual time" {
+		t.Fatalf("QuotaError = %+v, want virtual time resource", qe)
+	}
+	if !strings.Contains(err.Error(), "50ms") {
+		t.Fatalf("error text %q should render the limit as a duration", err)
+	}
+}
+
+func TestQuotaBreachDoesNotPoisonSharedCache(t *testing.T) {
+	cache := NewCache()
+	quotad := NewQuota(New(2, WithCache(cache)), Limits{MaxCells: 1})
+	compute := func() (CellResult, error) { return CellResult{Value: 7}, nil }
+	if _, err := quotad.Memo(bg, Key{Bench: "ok"}, compute); err != nil {
+		t.Fatal(err)
+	}
+	refusedKey := Key{Bench: "refused"}
+	if _, err := quotad.Memo(bg, refusedKey, compute); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("expected quota breach, got %v", err)
+	}
+	// The refusal must not have been memoized: an unquota'd runner
+	// sharing the cache computes the cell normally.
+	free := New(2, WithCache(cache))
+	v, err := free.Memo(bg, refusedKey, compute)
+	if err != nil || v != 7 {
+		t.Fatalf("shared cache poisoned by quota breach: %v, %v", v, err)
+	}
+	if cache.Len() != 2 {
+		t.Fatalf("cache holds %d cells, want 2 (ok + refused-then-computed)", cache.Len())
+	}
+}
+
+func TestQuotaChargesFailedSimulations(t *testing.T) {
+	r := New(1)
+	x := NewQuota(r, Limits{MaxCells: 1})
+	boom := errors.New("boom")
+	if _, err := x.Memo(bg, Key{Bench: "fail"}, func() (CellResult, error) {
+		return CellResult{}, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("failing cell error = %v", err)
+	}
+	if _, err := x.Memo(bg, Key{Bench: "next"}, func() (CellResult, error) {
+		return CellResult{Value: 1}, nil
+	}); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("failed simulation must still charge the budget: %v", err)
+	}
+}
+
+func TestQuotaChargesDo(t *testing.T) {
+	// Direct (non-memoized) runs are simulations too: a Do-only
+	// workload must deplete its cell budget.
+	x := NewQuota(New(1), Limits{MaxCells: 2})
+	for i := 0; i < 2; i++ {
+		if err := x.Do(bg, func() error { return nil }); err != nil {
+			t.Fatalf("Do %d within budget: %v", i, err)
+		}
+	}
+	if err := x.Do(bg, func() error { t.Fatal("must not run"); return nil }); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("Do past a Do-spent budget = %v, want ErrQuotaExceeded", err)
+	}
+	if _, err := x.Memo(bg, Key{Bench: "after-do"}, func() (CellResult, error) {
+		return CellResult{Value: 1}, nil
+	}); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("Memo past a Do-spent budget = %v, want ErrQuotaExceeded", err)
+	}
+}
+
+func TestQuotaBoundsConcurrentFanOutOvershoot(t *testing.T) {
+	// The admission gate must keep a wide fan-out from slipping past
+	// the budget wholesale: with slow cells and a concurrent Map, the
+	// number of simulations may overshoot MaxCells by at most the
+	// parallelism bound.
+	const workers, budget, fanout = 2, 3, 40
+	r := New(workers)
+	x := NewQuota(r, Limits{MaxCells: budget})
+	var simulated atomic.Int64
+	err := x.Map(bg, fanout, func(i int) error {
+		_, err := x.Memo(bg, Key{Bench: "wide", Size: i}, func() (CellResult, error) {
+			simulated.Add(1)
+			time.Sleep(2 * time.Millisecond) // realistic cell duration
+			return CellResult{Value: 1}, nil
+		})
+		return err
+	})
+	if !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("wide fan-out past budget = %v, want ErrQuotaExceeded", err)
+	}
+	if got := simulated.Load(); got > budget+workers {
+		t.Fatalf("fan-out simulated %d cells, want <= budget %d + parallelism %d", got, budget, workers)
+	}
+}
+
+func TestQuotaRefusalsReachObserver(t *testing.T) {
+	var mu sync.Mutex
+	var refused []Key
+	x := NewQuota(New(1), Limits{MaxCells: 1})
+	x.Observe(func(key Key, cached bool, err error) {
+		if errors.Is(err, ErrQuotaExceeded) {
+			mu.Lock()
+			refused = append(refused, key)
+			mu.Unlock()
+			if cached {
+				t.Error("refused cell reported as cached")
+			}
+		}
+	})
+	if _, err := x.Memo(bg, Key{Bench: "paid"}, func() (CellResult, error) {
+		return CellResult{Value: 1}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := Key{Bench: "turned-away"}
+	if _, err := x.Memo(bg, want, func() (CellResult, error) {
+		return CellResult{Value: 1}, nil
+	}); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("expected refusal, got %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(refused) != 1 || refused[0] != want {
+		t.Fatalf("observer saw refusals %v, want exactly %v", refused, want)
+	}
+}

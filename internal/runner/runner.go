@@ -19,8 +19,14 @@
 //     once. Concurrent requests for the same in-flight cell coalesce
 //     (single-flight) rather than duplicating the simulation.
 //
+// The scheduler surface callers program against is the Executor
+// interface; Runner (the in-process bounded pool) is its default
+// implementation, and NewQuota wraps any Executor with per-session
+// resource budgets. Sharded or remote backends implement the same
+// contract and slot in without the layers above changing.
+//
 // There is deliberately no process-global runner: every evaluation
-// session owns its Runner (and usually its Cache), so concurrent
+// session owns its Executor (and usually its Cache), so concurrent
 // sessions never share or clobber each other's parallelism bound,
 // memoization, or statistics. A Cache can be shared across Runners
 // explicitly, which keeps the counters and memoized cells with the
@@ -40,6 +46,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Key identifies one experiment cell: one simulated run in the paper's
@@ -69,66 +76,21 @@ func (k Key) String() string {
 	return fmt.Sprintf("%s/%s/%s procs=%d size=%d scale=%g", k.Platform, k.Tool, k.Bench, k.Procs, k.Size, k.Scale)
 }
 
+// CellResult is what one simulated cell reports back to the scheduler:
+// the measured value (milliseconds for TPL cells, seconds for APL
+// cells) plus the virtual wall-clock the simulation covered. Virtual is
+// the currency of WithMaxVirtualTime budgets — it is charged against a
+// quota when the cell is actually simulated, never on a cache hit.
+type CellResult struct {
+	Value   float64
+	Virtual time.Duration
+}
+
 // Stats counts cache traffic. Misses is exactly the number of
 // simulations executed through Memo against the cache.
 type Stats struct {
 	Hits   int64 // served from cache, or coalesced onto an in-flight compute
 	Misses int64 // computed by this call
-}
-
-// entry is one memoized cell. done is closed once val/err are final, so
-// latecomers for an in-flight cell block instead of re-simulating.
-type entry struct {
-	done chan struct{}
-	val  float64
-	err  error
-}
-
-// Cache is the memoization store for experiment cells. It is safe for
-// concurrent use and may be shared between Runners (sessions that want
-// to pool their simulation results while keeping independent
-// parallelism bounds). The zero value is not usable; call NewCache.
-type Cache struct {
-	mu sync.Mutex
-	m  map[Key]*entry
-
-	hits   atomic.Int64
-	misses atomic.Int64
-}
-
-// NewCache returns an empty cell cache.
-func NewCache() *Cache {
-	return &Cache{m: make(map[Key]*entry)}
-}
-
-// Stats snapshots the cache counters.
-func (c *Cache) Stats() Stats {
-	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load()}
-}
-
-// Len reports how many cells are memoized or in flight.
-func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.m)
-}
-
-// Reset drops every memoized cell and zeroes the hit/miss counters,
-// returning the cache to its freshly-constructed state. It is the
-// building block for eviction policies on long-lived shared caches
-// (ROADMAP), which otherwise grow without bound by design.
-//
-// Reset is safe concurrently with in-flight Memo calls: a computation
-// that was published before the Reset still completes and wakes every
-// waiter already coalesced onto it — the entry is merely no longer
-// findable, so later calls for the same key recompute (correctly, since
-// cells are deterministic).
-func (c *Cache) Reset() {
-	c.mu.Lock()
-	c.m = make(map[Key]*entry)
-	c.mu.Unlock()
-	c.hits.Store(0)
-	c.misses.Store(0)
 }
 
 // Observer is notified after each Memo call resolves: cached reports
@@ -137,14 +99,52 @@ func (c *Cache) Reset() {
 // run on the calling goroutine and must be safe for concurrent use.
 type Observer func(key Key, cached bool, err error)
 
+// Executor is the execution-backend seam: the scheduler contract the
+// session layer and the bench harness program against. Runner is the
+// in-process implementation (a bounded worker pool over a memoization
+// Cache); sharded or remote executors implement the same contract and
+// slot in underneath without the layers above changing.
+type Executor interface {
+	// Memo resolves one memoized cell: it returns the cached value for
+	// key, or invokes compute (under an execution slot) and caches the
+	// outcome. Context errors are returned as-is and never cached.
+	Memo(ctx context.Context, key Key, compute func() (CellResult, error)) (float64, error)
+	// Do runs fn under an execution slot, bounding direct (non-memoized)
+	// simulations by the same parallelism as memoized cells.
+	Do(ctx context.Context, fn func() error) error
+	// Map fans fn(0..n-1) out across the backend. Implementations must
+	// preserve the Runner.Map contract: the first (lowest-index) error
+	// among the indices that ran is returned, and callers assembling
+	// into index i of a pre-sized slice observe serial-loop ordering.
+	Map(ctx context.Context, n int, fn func(i int) error) error
+	// Workers reports the backend's concurrency bound.
+	Workers() int
+	// Stats snapshots the memoization counters.
+	Stats() Stats
+	// Cache returns the backend's memoization store.
+	Cache() *Cache
+	// Observe installs fn as the per-cell completion callback. It is
+	// called at most once, during session construction, before any
+	// cells are submitted.
+	Observe(fn Observer)
+}
+
 // Runner schedules experiment cells over a bounded pool and memoizes
-// their results in its Cache. The zero value is not usable; call New.
+// their results in its Cache. It is the in-process Executor. The zero
+// value is not usable; call New.
 type Runner struct {
 	workers int
 	sem     chan struct{} // counting semaphore; one token per running cell
 	cache   *Cache
 	observe Observer
+
+	// capacity deferred from WithCacheCapacity until New has resolved
+	// which cache the Runner uses, so option order cannot matter.
+	cacheCap    int
+	cacheCapSet bool
 }
+
+var _ Executor = (*Runner)(nil)
 
 // Option configures a Runner under construction.
 type Option func(*Runner)
@@ -157,6 +157,16 @@ func WithCache(c *Cache) Option {
 		if c != nil {
 			r.cache = c
 		}
+	}
+}
+
+// WithCacheCapacity bounds the Runner's cache to at most n memoized
+// cells with LRU eviction (see Cache.SetCapacity). It applies to
+// whichever cache the Runner ends up with — combined with WithCache it
+// (re)configures the shared cache.
+func WithCacheCapacity(n int) Option {
+	return func(r *Runner) {
+		r.cacheCap, r.cacheCapSet = n, true
 	}
 }
 
@@ -181,6 +191,9 @@ func New(workers int, opts ...Option) *Runner {
 	if r.cache == nil {
 		r.cache = NewCache()
 	}
+	if r.cacheCapSet {
+		r.cache.SetCapacity(r.cacheCap)
+	}
 	return r
 }
 
@@ -193,6 +206,10 @@ func (r *Runner) Cache() *Cache { return r.cache }
 // Stats snapshots the cache counters (shared counters, if the cache is
 // shared).
 func (r *Runner) Stats() Stats { return r.cache.Stats() }
+
+// Observe installs fn as the per-cell completion callback (the Executor
+// form of WithObserver). Call it before submitting cells.
+func (r *Runner) Observe(fn Observer) { r.observe = fn }
 
 func (r *Runner) notify(key Key, cached bool, err error) {
 	if r.observe != nil {
@@ -211,7 +228,7 @@ func (r *Runner) notify(key Key, cached bool, err error) {
 // been started by this call it runs to completion (a cell is
 // milliseconds of simulation). A ctx error is returned as-is and is
 // never cached.
-func (r *Runner) Memo(ctx context.Context, key Key, compute func() (float64, error)) (float64, error) {
+func (r *Runner) Memo(ctx context.Context, key Key, compute func() (CellResult, error)) (float64, error) {
 	c := r.cache
 	wait := func(e *entry) (float64, error) {
 		select {
@@ -228,7 +245,7 @@ func (r *Runner) Memo(ctx context.Context, key Key, compute func() (float64, err
 		return 0, err
 	}
 	c.mu.Lock()
-	if e, ok := c.m[key]; ok {
+	if e, ok := c.lookupLocked(key); ok {
 		c.mu.Unlock()
 		return wait(e)
 	}
@@ -243,13 +260,12 @@ func (r *Runner) Memo(ctx context.Context, key Key, compute func() (float64, err
 		return 0, ctx.Err()
 	}
 	c.mu.Lock()
-	if e, ok := c.m[key]; ok {
+	if e, ok := c.lookupLocked(key); ok {
 		c.mu.Unlock()
 		<-r.sem
 		return wait(e)
 	}
-	e := &entry{done: make(chan struct{})}
-	c.m[key] = e
+	e := c.insertLocked(key)
 	c.mu.Unlock()
 
 	c.misses.Add(1)
@@ -271,7 +287,9 @@ func (r *Runner) Memo(ctx context.Context, key Key, compute func() (float64, err
 		close(e.done)
 		r.notify(key, false, e.err)
 	}()
-	e.val, e.err = compute()
+	var res CellResult
+	res, e.err = compute()
+	e.val = res.Value
 	return e.val, e.err
 }
 
@@ -359,10 +377,10 @@ func (r *Runner) Map(ctx context.Context, n int, fn func(i int) error) error {
 // Collect is the ordered fan-out idiom every experiment uses: run fn
 // over each job, assembling the results in job order. It is Map plus
 // the pre-sized result slice, so call sites cannot get the
-// ordered-assembly invariant wrong.
-func Collect[J, R any](ctx context.Context, r *Runner, jobs []J, fn func(J) (R, error)) ([]R, error) {
+// ordered-assembly invariant wrong. It works over any Executor.
+func Collect[J, R any](ctx context.Context, x Executor, jobs []J, fn func(J) (R, error)) ([]R, error) {
 	out := make([]R, len(jobs))
-	err := r.Map(ctx, len(jobs), func(i int) error {
+	err := x.Map(ctx, len(jobs), func(i int) error {
 		var err error
 		out[i], err = fn(jobs[i])
 		return err

@@ -17,9 +17,9 @@ func TestMemoComputesOnce(t *testing.T) {
 	key := Key{Platform: "sun-ethernet", Tool: "p4", Bench: "pingpong", Procs: 2, Size: 1024}
 	var calls atomic.Int64
 	for i := 0; i < 5; i++ {
-		v, err := r.Memo(bg, key, func() (float64, error) {
+		v, err := r.Memo(bg, key, func() (CellResult, error) {
 			calls.Add(1)
-			return 42.5, nil
+			return CellResult{Value: 42.5}, nil
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -47,10 +47,10 @@ func TestMemoSingleFlight(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			v, err := r.Memo(bg, key, func() (float64, error) {
+			v, err := r.Memo(bg, key, func() (CellResult, error) {
 				calls.Add(1)
 				<-release // hold the computation so the others must coalesce
-				return 7, nil
+				return CellResult{Value: 7}, nil
 			})
 			if err != nil || v != 7 {
 				t.Errorf("Memo = %v, %v", v, err)
@@ -72,9 +72,9 @@ func TestMemoCachesErrors(t *testing.T) {
 	sentinel := errors.New("cell failed")
 	var calls int
 	for i := 0; i < 3; i++ {
-		_, err := r.Memo(bg, key, func() (float64, error) {
+		_, err := r.Memo(bg, key, func() (CellResult, error) {
 			calls++
-			return 0, sentinel
+			return CellResult{}, sentinel
 		})
 		if !errors.Is(err, sentinel) {
 			t.Fatalf("Memo error = %v, want %v", err, sentinel)
@@ -89,9 +89,9 @@ func TestMemoCancelledContext(t *testing.T) {
 	r := New(2)
 	ctx, cancel := context.WithCancel(bg)
 	cancel()
-	_, err := r.Memo(ctx, Key{Bench: "never"}, func() (float64, error) {
+	_, err := r.Memo(ctx, Key{Bench: "never"}, func() (CellResult, error) {
 		t.Fatal("compute must not run under a cancelled context")
-		return 0, nil
+		return CellResult{}, nil
 	})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("Memo error = %v, want context.Canceled", err)
@@ -111,10 +111,10 @@ func TestMemoCancelledWhileCoalesced(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		_, err := r.Memo(bg, key, func() (float64, error) {
+		_, err := r.Memo(bg, key, func() (CellResult, error) {
 			close(started)
 			<-release
-			return 1, nil
+			return CellResult{Value: 1}, nil
 		})
 		if err != nil {
 			t.Errorf("owner Memo failed: %v", err)
@@ -123,7 +123,7 @@ func TestMemoCancelledWhileCoalesced(t *testing.T) {
 	<-started
 	ctx, cancel := context.WithCancel(bg)
 	go cancel()
-	_, err := r.Memo(ctx, key, func() (float64, error) { return 0, nil })
+	_, err := r.Memo(ctx, key, func() (CellResult, error) { return CellResult{Value: 0}, nil })
 	close(release)
 	<-done
 	if !errors.Is(err, context.Canceled) {
@@ -140,14 +140,14 @@ func TestMemoPanickingComputeReleasesResources(t *testing.T) {
 				t.Fatal("panic must propagate to the computing caller")
 			}
 		}()
-		_, _ = r.Memo(bg, key, func() (float64, error) { panic("boom") })
+		_, _ = r.Memo(bg, key, func() (CellResult, error) { panic("boom") })
 	}()
 	// The panicked cell is cached as an error, not as a zero success.
-	if _, err := r.Memo(bg, key, func() (float64, error) { return 1, nil }); err == nil {
+	if _, err := r.Memo(bg, key, func() (CellResult, error) { return CellResult{Value: 1}, nil }); err == nil {
 		t.Fatal("panicked cell must be cached as an error")
 	}
 	// The pool token was released: other cells still run.
-	v, err := r.Memo(bg, Key{Bench: "after"}, func() (float64, error) { return 5, nil })
+	v, err := r.Memo(bg, Key{Bench: "after"}, func() (CellResult, error) { return CellResult{Value: 5}, nil })
 	if err != nil || v != 5 {
 		t.Fatalf("runner wedged after panic: %v, %v", v, err)
 	}
@@ -159,7 +159,7 @@ func TestSharedCachePoolsResults(t *testing.T) {
 	b := New(4, WithCache(cache))
 	key := Key{Bench: "shared"}
 	var calls atomic.Int64
-	compute := func() (float64, error) { calls.Add(1); return 9, nil }
+	compute := func() (CellResult, error) { calls.Add(1); return CellResult{Value: 9}, nil }
 	if _, err := a.Memo(bg, key, compute); err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +182,7 @@ func TestPrivateCachesAreIsolated(t *testing.T) {
 	a, b := New(2), New(2)
 	key := Key{Bench: "isolated"}
 	var calls atomic.Int64
-	compute := func() (float64, error) { calls.Add(1); return 3, nil }
+	compute := func() (CellResult, error) { calls.Add(1); return CellResult{Value: 3}, nil }
 	if _, err := a.Memo(bg, key, compute); err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +211,7 @@ func TestObserverSeesHitsAndMisses(t *testing.T) {
 	}))
 	key := Key{Bench: "observed"}
 	for i := 0; i < 2; i++ {
-		if _, err := r.Memo(bg, key, func() (float64, error) { return 1, nil }); err != nil {
+		if _, err := r.Memo(bg, key, func() (CellResult, error) { return CellResult{Value: 1}, nil }); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -354,9 +354,9 @@ func TestMapNests(t *testing.T) {
 	var cells atomic.Int64
 	err := r.Map(bg, 6, func(i int) error {
 		return r.Map(bg, 6, func(j int) error {
-			_, err := r.Memo(bg, Key{Bench: "nest", Procs: i, Size: j}, func() (float64, error) {
+			_, err := r.Memo(bg, Key{Bench: "nest", Procs: i, Size: j}, func() (CellResult, error) {
 				cells.Add(1)
-				return float64(i * j), nil
+				return CellResult{Value: float64(i * j)}, nil
 			})
 			return err
 		})
@@ -405,9 +405,9 @@ func TestCacheLenAndReset(t *testing.T) {
 	}
 	r := New(2, WithCache(c))
 	var calls atomic.Int64
-	compute := func() (float64, error) {
+	compute := func() (CellResult, error) {
 		calls.Add(1)
-		return 1, nil
+		return CellResult{Value: 1}, nil
 	}
 	for i := 0; i < 3; i++ {
 		key := Key{Bench: "cell", Size: i}
@@ -452,10 +452,10 @@ func TestCacheResetDoesNotStrandInFlight(t *testing.T) {
 	key := Key{Bench: "inflight"}
 	done := make(chan float64, 1)
 	go func() {
-		v, _ := r.Memo(bg, key, func() (float64, error) {
+		v, _ := r.Memo(bg, key, func() (CellResult, error) {
 			close(started)
 			<-release
-			return 9, nil
+			return CellResult{Value: 9}, nil
 		})
 		done <- v
 	}()
@@ -467,7 +467,7 @@ func TestCacheResetDoesNotStrandInFlight(t *testing.T) {
 	}
 	// The entry was dropped, so a later call recomputes rather than
 	// waiting on anything stale.
-	v, err := r.Memo(bg, key, func() (float64, error) { return 11, nil })
+	v, err := r.Memo(bg, key, func() (CellResult, error) { return CellResult{Value: 11}, nil })
 	if err != nil || v != 11 {
 		t.Fatalf("post-Reset Memo = %v, %v, want 11", v, err)
 	}

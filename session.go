@@ -44,11 +44,13 @@ type CellEvent struct {
 type ProgressFunc func(CellEvent)
 
 // Session is one self-contained evaluation instance: it owns its
-// experiment scheduler (parallelism bound), its memoization cache, its
-// statistics, and its tool registry. Sessions are safe for concurrent
-// use, and distinct sessions are fully isolated from one another — two
+// execution backend (an [Executor] — by default a worker pool with a
+// parallelism bound and a memoization cache), its statistics, its tool
+// registry, and its event sinks. Sessions are safe for concurrent use,
+// and distinct sessions are fully isolated from one another — two
 // tenants in one process can evaluate concurrently with different
-// parallelism without sharing or clobbering any state.
+// parallelism, budgets, and backends without sharing or clobbering any
+// state.
 //
 // All methods take a Context first. Cancellation and deadlines are
 // observed between simulation cells: a sweep aborts promptly with
@@ -60,13 +62,18 @@ type ProgressFunc func(CellEvent)
 type Session struct {
 	h           *bench.Harness
 	parallelism int
+	sinks       []func(Event)
 }
 
 type sessionConfig struct {
 	parallelism int
 	cache       *Cache
+	cacheCap    int
+	cacheCapSet bool
 	tools       map[string]Factory
-	progress    ProgressFunc
+	sinks       []func(Event)
+	executor    Executor
+	limits      runner.Limits
 }
 
 // Option configures a Session under construction.
@@ -117,29 +124,41 @@ func WithTools(reg map[string]Factory) Option {
 	}
 }
 
-// WithProgress installs fn as the session's per-cell progress callback.
+// WithProgress installs fn as the session's per-cell progress
+// callback. It is [WithEvents] restricted to [CellEvent]s — the two
+// options compose, and either may repeat.
 func WithProgress(fn ProgressFunc) Option {
-	return func(c *sessionConfig) { c.progress = fn }
+	if fn == nil {
+		return func(*sessionConfig) {}
+	}
+	return WithEvents(func(ev Event) {
+		if ce, ok := ev.(CellEvent); ok {
+			fn(ce)
+		}
+	})
 }
 
 // NewSession builds an isolated evaluation session. With no options it
-// uses GOMAXPROCS parallelism, a fresh private cache, the built-in tool
-// registry (p4, pvm, express), and no progress callback.
+// uses GOMAXPROCS parallelism, a fresh private unbounded cache, the
+// built-in tool registry (p4, pvm, express), no budgets, and no event
+// sinks.
 func NewSession(opts ...Option) *Session {
 	var cfg sessionConfig
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	ropts := make([]runner.Option, 0, 2)
-	if cfg.cache != nil {
-		ropts = append(ropts, runner.WithCache(cfg.cache))
+	x := cfg.executor
+	if x == nil {
+		ropts := make([]runner.Option, 0, 2)
+		if cfg.cache != nil {
+			ropts = append(ropts, runner.WithCache(cfg.cache))
+		}
+		if cfg.cacheCapSet {
+			ropts = append(ropts, runner.WithCacheCapacity(cfg.cacheCap))
+		}
+		x = runner.New(cfg.parallelism, ropts...)
 	}
-	if cfg.progress != nil {
-		progress := cfg.progress
-		ropts = append(ropts, runner.WithObserver(func(key runner.Key, cached bool, err error) {
-			progress(CellEvent{Cell: key, Cached: cached, Err: err})
-		}))
-	}
+	x = runner.NewQuota(x, cfg.limits)
 	var custom map[string]mpt.Factory
 	if len(cfg.tools) > 0 {
 		custom = make(map[string]mpt.Factory, len(cfg.tools))
@@ -147,27 +166,49 @@ func NewSession(opts ...Option) *Session {
 			custom[name] = factory
 		}
 	}
-	r := runner.New(cfg.parallelism, ropts...)
-	return &Session{
-		h:           bench.NewHarnessWithTools(r, custom),
-		parallelism: r.Workers(),
+	s := &Session{
+		h:           bench.NewHarnessWithTools(x, custom),
+		parallelism: x.Workers(),
+		sinks:       cfg.sinks,
+	}
+	if len(s.sinks) > 0 {
+		x.Observe(func(key runner.Key, cached bool, err error) {
+			s.emit(CellEvent{Cell: key, Cached: cached, Err: err})
+		})
+		s.h.SetHooks(bench.Hooks{
+			PhaseStart: func(id string) { s.emit(PhaseStart{Phase: id}) },
+			PhaseDone:  func(id string, err error) { s.emit(PhaseDone{Phase: id, Err: err}) },
+		})
+	}
+	return s
+}
+
+// emit fans an event out to every sink.
+func (s *Session) emit(ev Event) {
+	for _, fn := range s.sinks {
+		fn(ev)
 	}
 }
 
 // Parallelism reports the session's simulation concurrency bound.
 func (s *Session) Parallelism() int { return s.parallelism }
 
+// Executor returns the session's execution backend: the quota-wrapped
+// view of the built-in pool or of the [WithExecutor] replacement —
+// what Stats and every session method schedule through.
+func (s *Session) Executor() Executor { return s.h.Executor() }
+
 // Stats reports the session's memoization counters: cells served from
 // cache (hits) and cells actually simulated (misses). With WithCache
 // the counters are those of the shared cache.
 func (s *Session) Stats() (hits, misses int64) {
-	st := s.h.Runner().Stats()
+	st := s.h.Executor().Stats()
 	return st.Hits, st.Misses
 }
 
 // Cache returns the session's memoization cache (shared or private),
 // for handing to another session via WithCache.
-func (s *Session) Cache() *Cache { return s.h.Runner().Cache() }
+func (s *Session) Cache() *Cache { return s.h.Executor().Cache() }
 
 // Tools lists every tool name this session resolves: the built-ins,
 // then custom registrations in sorted order.
@@ -216,7 +257,7 @@ func (s *Session) RunWithFactory(ctx context.Context, platformKey string, factor
 
 func (s *Session) runBounded(ctx context.Context, pf Platform, factory Factory, cfg RunConfig, body func(*Ctx) (any, error)) (*RunResult, error) {
 	var res *RunResult
-	err := s.h.Runner().Do(ctx, func() error {
+	err := s.h.Executor().Do(ctx, func() error {
 		var err error
 		res, err = mpt.Run(pf, factory, cfg, body)
 		return err
@@ -268,7 +309,9 @@ func (s *Session) GlobalSum(ctx context.Context, platformKey, tool string, procs
 // "psrs") over a processor sweep and returns its execution-time curve.
 // scale shrinks the paper-scale workload (1.0 reproduces the paper).
 func (s *Session) RunApp(ctx context.Context, platformKey, tool, app string, procsList []int, scale float64) (AppMeasurement, error) {
-	pf, err := platform.Get(platformKey)
+	// Through resolvePlatform like every other tool-taking method, so
+	// the §3.1 port gate applies uniformly at the session layer.
+	pf, err := s.resolvePlatform(platformKey, tool)
 	if err != nil {
 		return AppMeasurement{}, err
 	}
@@ -336,7 +379,7 @@ func (s *Session) TraceRun(ctx context.Context, platformKey, tool string, size, 
 		return nil, err
 	}
 	var events []string
-	err = s.h.Runner().Do(ctx, func() error {
+	err = s.h.Executor().Do(ctx, func() error {
 		var err error
 		events, err = s.h.TraceRun(pf, tool, size, maxEvents)
 		return err

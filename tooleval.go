@@ -34,10 +34,15 @@
 //	ev, err := sess.Evaluate(ctx, tooleval.EndUserProfile(), 1.0)
 //
 // Concurrent sessions never share state (unless handed one [Cache]
-// explicitly), so one process can serve many tenants. [Session.Submit]
-// runs a whole heterogeneous sweep declared as data. The package-level
-// functions mirroring Session methods are deprecated compatibility
-// wrappers over a lazily-built default session.
+// explicitly), so one process can serve many tenants; [WithMaxCells]
+// and [WithMaxVirtualTime] budget each tenant, and [WithExecutor]
+// swaps the execution backend entirely. [Session.Stream] runs a whole
+// heterogeneous sweep declared as data and yields results in spec
+// order as each completes ([Session.Submit] and [Session.SubmitAll]
+// are its fail-fast and drain-everything consumers); [WithEvents]
+// exposes the sweep's progress as a typed event stream. The
+// package-level functions mirroring Session methods are deprecated
+// compatibility wrappers over a lazily-built default session.
 package tooleval
 
 import (
@@ -204,46 +209,89 @@ func RunWithFactory(platformKey string, factory Factory, cfg RunConfig, body fun
 	return DefaultSession().RunWithFactory(context.Background(), platformKey, factory, cfg, body)
 }
 
+// submitOne routes a deprecated wrapper through the default session's
+// batch surface: every legacy entry point is one ExperimentSpec
+// streamed through the same scheduler as a declarative sweep, so the
+// old API cannot drift from the new one.
+//
+// One legacy quirk is preserved deliberately: an empty size list was a
+// no-op sweep (empty curve, nil error) in the pre-spec API, while
+// ExperimentSpec validation rejects it — the TPL wrappers short-circuit
+// that case before building a spec. Other degenerate inputs the legacy
+// path silently simulated (e.g. a collective at Procs < 2) now return
+// the spec validation error.
+func submitOne(spec ExperimentSpec) (Result, error) {
+	results, err := DefaultSession().Submit(context.Background(), []ExperimentSpec{spec})
+	if err != nil {
+		return Result{Spec: spec}, err
+	}
+	return results[0], nil
+}
+
 // PingPong measures the send/receive round trip (Table 3's benchmark)
 // and returns milliseconds per message size.
 //
-// Deprecated: use [Session.PingPong].
+// Deprecated: use [Session.PingPong], or declare the sweep as an
+// [ExperimentSpec] for [Session.Stream].
 func PingPong(platformKey, tool string, sizes []int) ([]float64, error) {
-	return DefaultSession().PingPong(context.Background(), platformKey, tool, sizes)
+	if len(sizes) == 0 {
+		return []float64{}, nil // legacy no-op sweep
+	}
+	res, err := submitOne(ExperimentSpec{Kind: KindPingPong, Platform: platformKey, Tool: tool, Sizes: sizes})
+	return res.Times, err
 }
 
 // Broadcast measures the collective broadcast (Figure 2's benchmark).
 //
-// Deprecated: use [Session.Broadcast].
+// Deprecated: use [Session.Broadcast], or declare the sweep as an
+// [ExperimentSpec] for [Session.Stream].
 func Broadcast(platformKey, tool string, procs int, sizes []int) ([]float64, error) {
-	return DefaultSession().Broadcast(context.Background(), platformKey, tool, procs, sizes)
+	if len(sizes) == 0 {
+		return []float64{}, nil // legacy no-op sweep
+	}
+	res, err := submitOne(ExperimentSpec{Kind: KindBroadcast, Platform: platformKey, Tool: tool, Procs: procs, Sizes: sizes})
+	return res.Times, err
 }
 
 // Ring measures the ring/loop benchmark (Figure 3).
 //
-// Deprecated: use [Session.Ring].
+// Deprecated: use [Session.Ring], or declare the sweep as an
+// [ExperimentSpec] for [Session.Stream].
 func Ring(platformKey, tool string, procs int, sizes []int) ([]float64, error) {
-	return DefaultSession().Ring(context.Background(), platformKey, tool, procs, sizes)
+	if len(sizes) == 0 {
+		return []float64{}, nil // legacy no-op sweep
+	}
+	res, err := submitOne(ExperimentSpec{Kind: KindRing, Platform: platformKey, Tool: tool, Procs: procs, Sizes: sizes})
+	return res.Times, err
 }
 
 // GlobalSum measures the integer-vector global summation (Figure 4).
 //
-// Deprecated: use [Session.GlobalSum].
+// Deprecated: use [Session.GlobalSum], or declare the sweep as an
+// [ExperimentSpec] for [Session.Stream].
 func GlobalSum(platformKey, tool string, procs int, vectorLens []int) ([]float64, error) {
-	return DefaultSession().GlobalSum(context.Background(), platformKey, tool, procs, vectorLens)
+	if len(vectorLens) == 0 {
+		return []float64{}, nil // legacy no-op sweep
+	}
+	res, err := submitOne(ExperimentSpec{Kind: KindGlobalSum, Platform: platformKey, Tool: tool, Procs: procs, Sizes: vectorLens})
+	return res.Times, err
 }
 
 // RunApp executes a suite application ("jpeg", "fft2d", "montecarlo",
 // "psrs") over a processor sweep and returns its execution-time curve.
 // scale shrinks the paper-scale workload (1.0 reproduces the paper).
 //
-// Deprecated: use [Session.RunApp].
+// Deprecated: use [Session.RunApp], or declare the sweep as an
+// [ExperimentSpec] for [Session.Stream].
 func RunApp(platformKey, tool, app string, procsList []int, scale float64) (AppMeasurement, error) {
-	return DefaultSession().RunApp(context.Background(), platformKey, tool, app, procsList, scale)
+	res, err := submitOne(ExperimentSpec{Kind: KindApp, Platform: platformKey, Tool: tool, App: app, ProcsList: procsList, Scale: scale})
+	return res.App, err
 }
 
 // Evaluate runs the complete multi-level methodology on the default
-// session (see [Session.Evaluate]).
+// session (see [Session.Evaluate]). It cannot route through submitOne:
+// ExperimentSpec names its profile, while this wrapper accepts a full
+// WeightProfile value that may be custom-built and unnamed.
 //
 // Deprecated: use [Session.Evaluate].
 func Evaluate(profile WeightProfile, scale float64) (*Evaluation, error) {

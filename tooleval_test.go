@@ -146,3 +146,19 @@ func TestDeprecatedWrappersStillWork(t *testing.T) {
 		t.Fatalf("SchedulerStats = %d, %d; the wrapper calls above must have simulated", hits, misses)
 	}
 }
+
+// TestDeprecatedWrappersEmptySweep pins the legacy no-op contract: an
+// empty size list is an empty curve, not a validation error, even now
+// that the wrappers route through the ExperimentSpec batch surface.
+func TestDeprecatedWrappersEmptySweep(t *testing.T) {
+	//lint:ignore SA1019 the deprecated wrappers are this test's subject
+	ms, err := tooleval.PingPong("sun-ethernet", "p4", nil)
+	if err != nil || ms == nil || len(ms) != 0 {
+		t.Fatalf("PingPong(nil sizes) = %v, %v; want empty curve, nil error", ms, err)
+	}
+	//lint:ignore SA1019 the deprecated wrappers are this test's subject
+	ms, err = tooleval.GlobalSum("sun-ethernet", "p4", 4, []int{})
+	if err != nil || ms == nil || len(ms) != 0 {
+		t.Fatalf("GlobalSum(no lens) = %v, %v; want empty curve, nil error", ms, err)
+	}
+}
