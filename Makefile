@@ -18,11 +18,15 @@ examples:
 	@set -e; for d in examples/*/; do echo "==> $$d"; $(GO) run "./$$d" > /dev/null; done
 
 # bench-smoke compiles and runs every benchmark for exactly one
-# iteration — the CI guard against benchmark bit-rot.
+# iteration — the CI guard against benchmark bit-rot — plus one
+# multi-threaded pass of the scheduler-contention benchmarks (their
+# serial/pooled/sharded comparison is meaningless single-threaded).
 bench-smoke:
 	$(GO) test -run=NoSuchTest -bench=. -benchtime=1x ./...
+	$(GO) test -run=NoSuchTest -bench='MemoContention|ShardedSweep' -benchtime=1x -cpu 4 ./internal/runner
 
-# bench-baseline records the current figure + engine benchmark numbers
-# into BENCH_PR3.json under the "pr3" label (see scripts/record_bench.sh).
+# bench-baseline records the current figure + engine + scheduler
+# benchmark numbers into BENCH_PR5.json under the "pr5" label, carrying
+# the seed/pr3 history forward (see scripts/record_bench.sh).
 bench-baseline:
-	./scripts/record_bench.sh pr3
+	./scripts/record_bench.sh pr5

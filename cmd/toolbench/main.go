@@ -22,6 +22,10 @@
 //	             keeps every cell deterministic, so output is identical
 //	             at any -j; repeated cells (e.g. `all` followed by its
 //	             closing report) are memoized and simulate once.
+//	-shards n    partition the -j workers into n independent pools
+//	             hash-sharded by cell key over a striped cache (0 =
+//	             single pool). Output stays byte-identical; only lock
+//	             contention changes, so it pays off at high -j.
 //	-progress    stream live figure/phase progress to stderr (one line
 //	             per table/figure starting and finishing). Stdout stays
 //	             byte-identical with and without it.
@@ -69,6 +73,7 @@ type config struct {
 	chart      bool
 	format     string
 	jobs       int
+	shards     int
 	progress   bool
 	cpuprofile string
 	memprofile string
@@ -93,6 +98,7 @@ func runIO(ctx context.Context, args []string, w, errw io.Writer) (err error) {
 	fs.BoolVar(&cfg.chart, "chart", false, "render figures as ASCII charts instead of tables")
 	fs.StringVar(&cfg.format, "format", "text", `report rendering for report/all: "text" or "json"`)
 	fs.IntVar(&cfg.jobs, "j", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = serial)")
+	fs.IntVar(&cfg.shards, "shards", 0, "partition the workers into n hash-sharded pools (0 = single pool)")
 	fs.BoolVar(&cfg.progress, "progress", false, "stream live figure/phase progress to stderr")
 	fs.StringVar(&cfg.cpuprofile, "cpuprofile", "", "write a CPU profile of the sweep to this file")
 	fs.StringVar(&cfg.memprofile, "memprofile", "", "write a post-sweep heap profile to this file")
@@ -101,6 +107,9 @@ func runIO(ctx context.Context, args []string, w, errw io.Writer) (err error) {
 	}
 	if cfg.jobs < 1 {
 		return fmt.Errorf("-j %d: need at least one worker", cfg.jobs)
+	}
+	if cfg.shards < 0 {
+		return fmt.Errorf("-shards %d: need a non-negative shard count", cfg.shards)
 	}
 	if cfg.format != "text" && cfg.format != "json" {
 		return fmt.Errorf("-format %q: want text or json", cfg.format)
@@ -139,6 +148,9 @@ func runIO(ctx context.Context, args []string, w, errw io.Writer) (err error) {
 		}()
 	}
 	opts := []tooleval.Option{tooleval.WithParallelism(cfg.jobs)}
+	if cfg.shards > 0 {
+		opts = append(opts, tooleval.WithShardedExecutor(cfg.shards))
+	}
 	if cfg.progress {
 		opts = append(opts, tooleval.WithEvents(progressSink(errw)))
 	}

@@ -92,12 +92,18 @@ var runArgsTable = []struct {
 	{"list", []string{"list"}, false},
 	{"report", []string{"-scale", "0.05", "report"}, false},
 	{"all", []string{"-scale", "0.05", "all"}, false},
-	// Parallelism flag.
+	// Parallelism flags.
 	{"explicit -j", []string{"-j", "4", "-scale", "0.05", "fig2"}, false},
 	{"serial -j", []string{"-j", "1", "fig3"}, false},
 	{"zero -j", []string{"-j", "0", "fig2"}, true},
 	{"negative -j", []string{"-j", "-2", "fig2"}, true},
 	{"non-numeric -j", []string{"-j", "many", "fig2"}, true},
+	// Sharded backend flag.
+	{"sharded", []string{"-shards", "4", "-j", "8", "-scale", "0.05", "fig2"}, false},
+	{"single shard", []string{"-shards", "1", "-scale", "0.05", "fig3"}, false},
+	{"zero shards is single pool", []string{"-shards", "0", "-scale", "0.05", "fig4"}, false},
+	{"negative shards", []string{"-shards", "-2", "fig2"}, true},
+	{"non-numeric shards", []string{"-shards", "many", "fig2"}, true},
 	// Report format flag.
 	{"json report", []string{"-scale", "0.05", "-format", "json", "report"}, false},
 	{"json all", []string{"-scale", "0.05", "-format", "json", "all"}, false},
@@ -269,46 +275,58 @@ func TestProgressStreamsToStderrOnly(t *testing.T) {
 
 // TestAllOutputIdenticalAcrossParallelism is the CLI-level determinism
 // acceptance: a full `all` sweep must emit byte-identical stdout and
-// byte-identical .dat artifacts serially and at -j 8.
+// byte-identical .dat artifacts serially, at -j 8, and through the
+// sharded backend (-shards 4 -j 8).
 func TestAllOutputIdenticalAcrossParallelism(t *testing.T) {
 	if testing.Short() {
-		t.Skip("two full small-scale sweeps")
+		t.Skip("three full small-scale sweeps")
+	}
+	modes := []struct {
+		name string
+		args []string
+	}{
+		{"serial", []string{"-j", "1"}},
+		{"j8", []string{"-j", "8"}},
+		{"sharded", []string{"-shards", "4", "-j", "8"}},
 	}
 	outs := map[string]*bytes.Buffer{}
 	dirs := map[string]string{}
-	for _, j := range []string{"1", "8"} {
+	for _, m := range modes {
 		var buf bytes.Buffer
 		dir := t.TempDir()
-		if err := run(bg, []string{"-j", j, "-scale", "0.05", "-out", dir, "all"}, &buf); err != nil {
-			t.Fatalf("-j %s all: %v", j, err)
+		args := append(append([]string{}, m.args...), "-scale", "0.05", "-out", dir, "all")
+		if err := run(bg, args, &buf); err != nil {
+			t.Fatalf("%s all: %v", m.name, err)
 		}
-		outs[j], dirs[j] = &buf, dir
+		outs[m.name], dirs[m.name] = &buf, dir
 	}
-	if !bytes.Equal(outs["1"].Bytes(), outs["8"].Bytes()) {
-		t.Fatal("`all` stdout differs between -j 1 and -j 8")
-	}
-	serialFiles, err := os.ReadDir(dirs["1"])
+	serialFiles, err := os.ReadDir(dirs["serial"])
 	if err != nil {
 		t.Fatal(err)
 	}
-	var datSeen int
-	for _, f := range serialFiles {
-		a, err := os.ReadFile(filepath.Join(dirs["1"], f.Name()))
-		if err != nil {
-			t.Fatal(err)
+	for _, m := range modes[1:] {
+		if !bytes.Equal(outs["serial"].Bytes(), outs[m.name].Bytes()) {
+			t.Fatalf("`all` stdout differs between serial and %s", m.name)
 		}
-		b, err := os.ReadFile(filepath.Join(dirs["8"], f.Name()))
-		if err != nil {
-			t.Fatalf("artifact %s missing at -j 8: %v", f.Name(), err)
+		var datSeen int
+		for _, f := range serialFiles {
+			a, err := os.ReadFile(filepath.Join(dirs["serial"], f.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := os.ReadFile(filepath.Join(dirs[m.name], f.Name()))
+			if err != nil {
+				t.Fatalf("artifact %s missing under %s: %v", f.Name(), m.name, err)
+			}
+			if !bytes.Equal(a, b) {
+				t.Fatalf("artifact %s differs between serial and %s", f.Name(), m.name)
+			}
+			if strings.HasSuffix(f.Name(), ".dat") {
+				datSeen++
+			}
 		}
-		if !bytes.Equal(a, b) {
-			t.Fatalf("artifact %s differs between -j 1 and -j 8", f.Name())
+		if datSeen == 0 {
+			t.Fatal("no .dat artifacts compared")
 		}
-		if strings.HasSuffix(f.Name(), ".dat") {
-			datSeen++
-		}
-	}
-	if datSeen == 0 {
-		t.Fatal("no .dat artifacts compared")
 	}
 }

@@ -30,8 +30,11 @@ func (SpecDone) event()   {}
 func (PhaseStart) event() {}
 func (PhaseDone) event()  {}
 
-// SpecStart reports that Submit, SubmitAll, or Stream has begun
-// executing the spec at Index of its batch.
+// SpecStart reports that Submit, SubmitAll, or Stream has admitted the
+// spec at Index of its batch. Every submitted spec is announced exactly
+// once — including specs that fail validation or arrive after the batch
+// was cancelled — so a sink can count Start/Done pairs against the
+// batch size.
 type SpecStart struct {
 	// Index is the spec's position in the submitted batch.
 	Index int
@@ -40,9 +43,11 @@ type SpecStart struct {
 }
 
 // SpecDone reports that a batch spec finished; Err is the spec's
-// outcome (nil on success). Specs complete in scheduler order, not
-// batch order — the result iterators re-establish batch order, the
-// event stream deliberately does not.
+// outcome (nil on success; the validation error or ctx error for specs
+// that never ran). Every SpecStart is matched by exactly one SpecDone.
+// Specs complete in scheduler order, not batch order — the result
+// iterators re-establish batch order, the event stream deliberately
+// does not.
 type SpecDone struct {
 	Index int
 	Spec  ExperimentSpec

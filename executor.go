@@ -43,10 +43,13 @@ var ErrQuotaExceeded = runner.ErrQuotaExceeded
 type QuotaError = runner.QuotaError
 
 // WithExecutor makes the session schedule through x instead of the
-// built-in worker pool. The executor owns parallelism and memoization,
-// so [WithParallelism], [WithCache], and [WithCacheCapacity] are
-// ignored when this option is present. Quota options still apply —
-// budgets wrap any executor.
+// built-in worker pool. The executor owns parallelism, so
+// [WithParallelism] is ignored when this option is present;
+// [WithCacheCapacity] still applies (NewSession forwards it to the
+// executor's cache via SetCapacity), and combining [WithCache] or
+// [WithShardedExecutor] with this option makes NewSession panic — both
+// would silently contradict the executor the caller already built.
+// Quota options still apply — budgets wrap any executor.
 //
 // An Executor instance must be dedicated to one session: NewSession
 // installs the session's cell observer on it, so handing the same
@@ -54,6 +57,28 @@ type QuotaError = runner.QuotaError
 // To pool results across sessions, share a [Cache], not an Executor.
 func WithExecutor(x Executor) Option {
 	return func(c *sessionConfig) { c.executor = x }
+}
+
+// WithShardedExecutor makes the session schedule through a sharded
+// in-process backend: n independent worker pools hash-partitioned by
+// cell key over one striped memoization cache, instead of a single
+// pool funneling every cell through one semaphore and one cache lock.
+// Virtual time keeps every cell deterministic, so results are
+// bit-identical to the single-pool (and serial) sweep — only lock and
+// semaphore contention changes.
+//
+// [WithParallelism] sets the total worker count, divided evenly across
+// the shards (rounded up, so the effective bound reported by
+// [Session.Parallelism] may exceed it by up to n-1). [WithCache] and
+// [WithCacheCapacity] compose as usual; for contention relief the
+// shared cache should be a striped one. n <= 0 keeps the default
+// single pool.
+func WithShardedExecutor(n int) Option {
+	return func(c *sessionConfig) {
+		if n > 0 {
+			c.shards = n
+		}
+	}
 }
 
 // WithMaxCells caps how many cells the session may simulate. Cache
@@ -88,6 +113,14 @@ func WithMaxVirtualTime(d time.Duration) Option {
 // shared cache; without it, it bounds the session's private cache.
 // n <= 0 means unbounded (the default — one evaluation matrix is
 // finite, so eviction only matters for long-lived shared caches).
+//
+// On a striped cache ([NewStripedCache], or the one a
+// [WithShardedExecutor] session builds) the bound is approximate: n is
+// divided evenly across the stripes (rounded up), each stripe runs its
+// own LRU over its share, and eviction order is per stripe rather than
+// global — the cache may hold up to stripes-1 cells more than n, and a
+// stripe whose keys cluster may evict while the whole cache is under
+// n. Single-stripe caches (the default) keep the exact global bound.
 func WithCacheCapacity(n int) Option {
 	return func(c *sessionConfig) {
 		c.cacheCap, c.cacheCapSet = n, true

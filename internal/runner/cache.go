@@ -2,13 +2,14 @@ package runner
 
 import (
 	"container/list"
+	"math"
 	"sync"
 	"sync/atomic"
 )
 
 // entry is one memoized cell. done is closed once val/err are final, so
 // latecomers for an in-flight cell block instead of re-simulating. el
-// is the entry's node in the cache's recency list — always non-nil,
+// is the entry's node in its stripe's recency list — always non-nil,
 // maintained even while the cache is unbounded so that SetCapacity can
 // start evicting in true LRU order at any point in the cache's life.
 type entry struct {
@@ -18,77 +19,200 @@ type entry struct {
 	el   *list.Element
 }
 
+// stripe is one independently locked segment of a Cache: its own map,
+// recency list, and capacity share. Striping is what keeps a cache
+// shared by many worker pools (the sharded executor) off a single hot
+// mutex — two cells in different stripes never contend.
+type stripe struct {
+	mu       sync.Mutex
+	m        map[Key]*entry
+	capacity int        // this stripe's share of the bound; 0 = unbounded
+	order    *list.List // of Key; front = most recently used
+
+	// pad spreads consecutively allocated stripes over distinct cache
+	// lines so one stripe's mutex traffic does not false-share with its
+	// neighbors.
+	_ [96]byte
+}
+
 // Cache is the memoization store for experiment cells. It is safe for
-// concurrent use and may be shared between Runners (sessions that want
-// to pool their simulation results while keeping independent
-// parallelism bounds). The zero value is not usable; call NewCache.
+// concurrent use and may be shared between executors (sessions that
+// want to pool their simulation results while keeping independent
+// parallelism bounds). The zero value is not usable; call NewCache or
+// NewStripedCache.
+//
+// Internally the store is split into one or more stripes, each with its
+// own lock, map, and LRU list; a key's stripe is fixed by an FNV hash
+// over its canonical fields. NewCache builds a single-stripe cache —
+// exact global LRU order, the right default for one session's pool —
+// while NewStripedCache spreads the keys over n independently locked
+// segments for high-contention use (many pools hammering one cache).
+// Len, Reset, SetCapacity, and Stats aggregate across stripes; the
+// single-flight and in-flight-never-evicted invariants hold per stripe.
 //
 // By default a Cache grows without bound — the paper's evaluation
 // matrix is finite, so for one sweep that is the right policy. Long-
 // lived shared caches (a multi-tenant server memoizing across sessions)
-// can bound it with SetCapacity, which turns the store into an LRU:
-// inserting beyond the capacity evicts the least-recently-used
-// completed cell. Evicted cells are recomputed on next request —
-// correct, since cells are deterministic.
+// can bound it with SetCapacity, which turns each stripe into an LRU:
+// inserting beyond a stripe's share of the capacity evicts that
+// stripe's least-recently-used completed cell. Evicted cells are
+// recomputed on next request — correct, since cells are deterministic.
 type Cache struct {
-	mu       sync.Mutex
-	m        map[Key]*entry
-	capacity int        // 0 = unbounded
-	order    *list.List // of Key; front = most recently used
+	stripes []*stripe
+
+	// capacity is the configured total bound (0 = unbounded), kept for
+	// Capacity(); each stripe holds its own share.
+	capacity atomic.Int64
 
 	hits   atomic.Int64
 	misses atomic.Int64
 }
 
-// NewCache returns an empty, unbounded cell cache.
-func NewCache() *Cache {
-	return &Cache{m: make(map[Key]*entry), order: list.New()}
+// defaultStripes is the stripe count NewStripedCache selects when the
+// caller does not care: wide enough that a handful of worker pools
+// rarely collide, small enough to stay cheap to aggregate over.
+const defaultStripes = 16
+
+// NewCache returns an empty, unbounded, single-stripe cell cache:
+// exact global LRU semantics, one lock. Use NewStripedCache when many
+// pools share the cache and the lock would become the bottleneck.
+func NewCache() *Cache { return NewStripedCache(1) }
+
+// NewStripedCache returns an empty, unbounded cache split into n
+// independently locked stripes. n < 1 selects a default (16). A
+// striped cache trades exact global LRU order for per-stripe LRU and
+// uncontended access — the right shape in front of a sharded executor.
+func NewStripedCache(n int) *Cache {
+	if n < 1 {
+		n = defaultStripes
+	}
+	c := &Cache{stripes: make([]*stripe, n)}
+	for i := range c.stripes {
+		c.stripes[i] = &stripe{m: make(map[Key]*entry), order: list.New()}
+	}
+	return c
 }
 
-// NewCacheWithCapacity returns an empty cache bounded to at most n
-// memoized cells (LRU eviction). n <= 0 means unbounded.
+// NewCacheWithCapacity returns an empty single-stripe cache bounded to
+// at most n memoized cells (LRU eviction). n <= 0 means unbounded.
 func NewCacheWithCapacity(n int) *Cache {
 	c := NewCache()
 	c.SetCapacity(n)
 	return c
 }
 
+// Stripes reports how many independently locked segments the cache is
+// split into (1 for NewCache).
+func (c *Cache) Stripes() int { return len(c.stripes) }
+
+// stripeFor picks the segment owning key. Single-stripe caches skip
+// the hash entirely — the default Runner never pays for striping it
+// does not use.
+func (c *Cache) stripeFor(key Key) *stripe {
+	if len(c.stripes) == 1 {
+		return c.stripes[0]
+	}
+	return c.stripeAt(key.hash())
+}
+
+// stripeAt picks the segment for a precomputed key hash, so callers
+// that already hashed the key (the sharded executor routes and stripes
+// off one hash) do not hash it twice.
+func (c *Cache) stripeAt(h uint64) *stripe {
+	return c.stripes[bucket(h, len(c.stripes))]
+}
+
+// bucket reduces a hash to [0, n) with a multiply-shift instead of a
+// modulo — n is dynamic, so % would be a hardware divide on the Memo
+// hot path.
+func bucket(h uint64, n int) int {
+	return int((h & 0xffffffff) * uint64(n) >> 32)
+}
+
+// fnv-1a over the canonical key fields. The same hash partitions keys
+// over cache stripes and over the sharded executor's pools, so a key's
+// stripe and shard are both pure functions of its content.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	// Field separator, so ("ab","c") and ("a","bc") cannot alias.
+	h ^= 0xff
+	h *= fnvPrime64
+	return h
+}
+
+// fnvUint64 folds a whole word in with one xor/multiply round — the
+// numeric key fields are small and the multiply mixes them plenty for
+// bucket selection, at an eighth of the byte-at-a-time cost.
+func fnvUint64(h, v uint64) uint64 {
+	h ^= v
+	h *= fnvPrime64
+	return h
+}
+
+// hash is FNV-1a over the canonical key fields.
+func (k Key) hash() uint64 {
+	h := uint64(fnvOffset64)
+	h = fnvString(h, k.Platform)
+	h = fnvString(h, k.Tool)
+	h = fnvString(h, k.Bench)
+	h = fnvUint64(h, uint64(k.Procs))
+	h = fnvUint64(h, uint64(k.Size))
+	h = fnvUint64(h, math.Float64bits(k.Scale))
+	return h
+}
+
 // SetCapacity bounds the cache to at most n cells, evicting the
 // least-recently-used completed cells immediately if it already holds
-// more. n <= 0 removes the bound. Cells whose computation is still in
+// more. n <= 0 removes the bound. The bound is divided evenly across
+// the stripes (rounded up, so a striped cache may admit up to
+// stripes-1 cells more than n); cells whose computation is still in
 // flight are never evicted — single-flight coalescing stays intact — so
-// the cache may transiently exceed n by the number of in-flight cells.
+// a stripe may transiently exceed its share by its in-flight cells.
 func (c *Cache) SetCapacity(n int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.capacity = n
-	c.evictLocked()
+	if n < 0 {
+		n = 0
+	}
+	c.capacity.Store(int64(n))
+	per := 0
+	if n > 0 {
+		per = (n + len(c.stripes) - 1) / len(c.stripes)
+	}
+	for _, s := range c.stripes {
+		s.mu.Lock()
+		s.capacity = per
+		s.evictLocked()
+		s.mu.Unlock()
+	}
 }
 
-// Capacity reports the configured bound (0 = unbounded).
-func (c *Cache) Capacity() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.capacity
-}
+// Capacity reports the configured total bound (0 = unbounded).
+func (c *Cache) Capacity() int { return int(c.capacity.Load()) }
 
-// evictLocked drops least-recently-used completed cells until the cache
-// fits its capacity. Dropping a completed entry is safe concurrently
-// with readers that already hold it: they block on its done channel (or
-// have read val/err), never on map membership. In-flight entries are
-// skipped so coalesced waiters keep finding them.
-func (c *Cache) evictLocked() {
-	if c.capacity <= 0 {
+// evictLocked drops least-recently-used completed cells until the
+// stripe fits its capacity share. Dropping a completed entry is safe
+// concurrently with readers that already hold it: they block on its
+// done channel (or have read val/err), never on map membership.
+// In-flight entries are skipped so coalesced waiters keep finding them.
+func (s *stripe) evictLocked() {
+	if s.capacity <= 0 {
 		return
 	}
-	for el := c.order.Back(); el != nil && len(c.m) > c.capacity; {
+	for el := s.order.Back(); el != nil && len(s.m) > s.capacity; {
 		prev := el.Prev()
 		key := el.Value.(Key)
-		e := c.m[key]
+		e := s.m[key]
 		select {
 		case <-e.done: // completed: evictable
-			delete(c.m, key)
-			c.order.Remove(el)
+			delete(s.m, key)
+			s.order.Remove(el)
 		default: // in flight: keep
 		}
 		el = prev
@@ -96,21 +220,21 @@ func (c *Cache) evictLocked() {
 }
 
 // lookupLocked finds key and marks it most recently used.
-func (c *Cache) lookupLocked(key Key) (*entry, bool) {
-	e, ok := c.m[key]
+func (s *stripe) lookupLocked(key Key) (*entry, bool) {
+	e, ok := s.m[key]
 	if ok {
-		c.order.MoveToFront(e.el)
+		s.order.MoveToFront(e.el)
 	}
 	return e, ok
 }
 
 // insertLocked publishes a fresh in-flight entry for key and evicts if
-// the insertion crossed the capacity.
-func (c *Cache) insertLocked(key Key) *entry {
+// the insertion crossed the stripe's capacity share.
+func (s *stripe) insertLocked(key Key) *entry {
 	e := &entry{done: make(chan struct{})}
-	e.el = c.order.PushFront(key)
-	c.m[key] = e
-	c.evictLocked()
+	e.el = s.order.PushFront(key)
+	s.m[key] = e
+	s.evictLocked()
 	return e
 }
 
@@ -119,11 +243,16 @@ func (c *Cache) Stats() Stats {
 	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load()}
 }
 
-// Len reports how many cells are memoized or in flight.
+// Len reports how many cells are memoized or in flight, summed over the
+// stripes.
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.m)
+	n := 0
+	for _, s := range c.stripes {
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // Reset drops every memoized cell and zeroes the hit/miss counters,
@@ -135,12 +264,15 @@ func (c *Cache) Len() int {
 // that was published before the Reset still completes and wakes every
 // waiter already coalesced onto it — the entry is merely no longer
 // findable, so later calls for the same key recompute (correctly, since
-// cells are deterministic).
+// cells are deterministic). Stripes reset one at a time, so a
+// concurrent sweep may see some stripes emptied before others.
 func (c *Cache) Reset() {
-	c.mu.Lock()
-	c.m = make(map[Key]*entry)
-	c.order.Init()
-	c.mu.Unlock()
+	for _, s := range c.stripes {
+		s.mu.Lock()
+		s.m = make(map[Key]*entry)
+		s.order.Init()
+		s.mu.Unlock()
+	}
 	c.hits.Store(0)
 	c.misses.Store(0)
 }

@@ -139,14 +139,18 @@ func (q *quotaExecutor) Memo(ctx context.Context, key Key, compute func() (CellR
 		return 0, err
 	}
 	defer release()
-	return q.base.Memo(ctx, key, func() (CellResult, error) {
-		res, err := compute()
-		// A failed simulation still ran: charge it. res.Virtual is the
-		// virtual clock the cell covered (zero on error paths that
-		// never started the engine).
-		q.cells.Add(1)
-		q.virt.Add(int64(res.Virtual))
-		return res, err
+	return q.base.Memo(ctx, key, func() (res CellResult, err error) {
+		// Charge on every exit of the closure, panics included: a
+		// panicking user factory still ran a simulation, and letting it
+		// escape uncharged would let a crashing tenant bypass its
+		// budget. res.Virtual is the virtual clock the cell covered —
+		// zero on error/panic paths that never started the engine, so
+		// only the cell budget is charged then.
+		defer func() {
+			q.cells.Add(1)
+			q.virt.Add(int64(res.Virtual))
+		}()
+		return compute()
 	})
 }
 

@@ -140,6 +140,50 @@ func TestQuotaChargesFailedSimulations(t *testing.T) {
 	}
 }
 
+func TestQuotaChargesPanickingCell(t *testing.T) {
+	// A panicking user factory still ran a simulation: the charge must
+	// land even though compute never returned, or a crashing tenant
+	// simulates for free. (The charge used to sit after compute(), so a
+	// panic skipped it.)
+	r := New(1)
+	x := NewQuota(r, Limits{MaxCells: 1})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic must propagate to the computing caller")
+			}
+		}()
+		_, _ = x.Memo(bg, Key{Bench: "kaboom-quota"}, func() (CellResult, error) { panic("boom") })
+	}()
+	_, err := x.Memo(bg, Key{Bench: "after-kaboom"}, func() (CellResult, error) {
+		t.Fatal("compute must not run: the panicked cell spent the budget")
+		return CellResult{}, nil
+	})
+	if !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("Memo after a panicked cell = %v, want ErrQuotaExceeded", err)
+	}
+	var qe *QuotaError
+	if !errors.As(err, &qe) || qe.Resource != "cells" || qe.Used != 1 {
+		t.Fatalf("QuotaError = %+v, want 1 charged cell", qe)
+	}
+}
+
+func TestQuotaPanickingCellChargesNoVirtualTime(t *testing.T) {
+	// The panic path never produced a CellResult, so only the cell
+	// budget is charged: a virtual-time budget must survive the crash
+	// and still admit the next cell.
+	x := NewQuota(New(1), Limits{MaxVirtualTime: 50 * time.Millisecond})
+	func() {
+		defer func() { _ = recover() }()
+		_, _ = x.Memo(bg, Key{Bench: "kaboom-vt"}, func() (CellResult, error) { panic("boom") })
+	}()
+	if _, err := x.Memo(bg, Key{Bench: "after-kaboom-vt"}, func() (CellResult, error) {
+		return CellResult{Value: 1, Virtual: 10 * time.Millisecond}, nil
+	}); err != nil {
+		t.Fatalf("virtual-time budget must survive a panicked cell: %v", err)
+	}
+}
+
 func TestQuotaChargesDo(t *testing.T) {
 	// Direct (non-memoized) runs are simulations too: a Do-only
 	// workload must deplete its cell budget.

@@ -21,9 +21,11 @@
 //
 // The scheduler surface callers program against is the Executor
 // interface; Runner (the in-process bounded pool) is its default
-// implementation, and NewQuota wraps any Executor with per-session
-// resource budgets. Sharded or remote backends implement the same
-// contract and slot in without the layers above changing.
+// implementation, NewSharded partitions the work over N independent
+// pools hash-keyed by cell (backed by a striped Cache), and NewQuota
+// wraps any Executor with per-session resource budgets. Remote
+// backends implement the same contract and slot in without the layers
+// above changing.
 //
 // There is deliberately no process-global runner: every evaluation
 // session owns its Executor (and usually its Cache), so concurrent
@@ -137,42 +139,64 @@ type Runner struct {
 	sem     chan struct{} // counting semaphore; one token per running cell
 	cache   *Cache
 	observe Observer
-
-	// capacity deferred from WithCacheCapacity until New has resolved
-	// which cache the Runner uses, so option order cannot matter.
-	cacheCap    int
-	cacheCapSet bool
 }
 
 var _ Executor = (*Runner)(nil)
 
-// Option configures a Runner under construction.
-type Option func(*Runner)
+// execConfig is the option state shared by the executor constructors
+// (New, NewSharded): which cache to memoize into, what bound to put on
+// it, and the per-cell completion callback.
+type execConfig struct {
+	cache       *Cache
+	cacheCap    int
+	cacheCapSet bool
+	observe     Observer
+}
 
-// WithCache makes the Runner memoize into c instead of a fresh private
-// cache. Sharing one Cache across Runners pools their results; the
-// hit/miss counters travel with the cache.
+// Option configures an executor under construction (New or NewSharded).
+type Option func(*execConfig)
+
+// WithCache makes the executor memoize into c instead of a fresh
+// private cache. Sharing one Cache across executors pools their
+// results; the hit/miss counters travel with the cache.
 func WithCache(c *Cache) Option {
-	return func(r *Runner) {
+	return func(cfg *execConfig) {
 		if c != nil {
-			r.cache = c
+			cfg.cache = c
 		}
 	}
 }
 
-// WithCacheCapacity bounds the Runner's cache to at most n memoized
+// WithCacheCapacity bounds the executor's cache to at most n memoized
 // cells with LRU eviction (see Cache.SetCapacity). It applies to
-// whichever cache the Runner ends up with — combined with WithCache it
-// (re)configures the shared cache.
+// whichever cache the executor ends up with — combined with WithCache
+// it (re)configures the shared cache.
 func WithCacheCapacity(n int) Option {
-	return func(r *Runner) {
-		r.cacheCap, r.cacheCapSet = n, true
+	return func(cfg *execConfig) {
+		cfg.cacheCap, cfg.cacheCapSet = n, true
 	}
 }
 
 // WithObserver installs fn as the per-cell completion callback.
 func WithObserver(fn Observer) Option {
-	return func(r *Runner) { r.observe = fn }
+	return func(cfg *execConfig) { cfg.observe = fn }
+}
+
+// resolve applies the options and materializes the cache, so every
+// constructor resolves the cache/capacity/observer triple identically.
+// newCache builds the default when WithCache was not given.
+func resolve(opts []Option, newCache func() *Cache) execConfig {
+	var cfg execConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.cache == nil {
+		cfg.cache = newCache()
+	}
+	if cfg.cacheCapSet {
+		cfg.cache.SetCapacity(cfg.cacheCap)
+	}
+	return cfg
 }
 
 // New returns a Runner executing at most workers simulations at once.
@@ -181,20 +205,13 @@ func New(workers int, opts ...Option) *Runner {
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	r := &Runner{
+	cfg := resolve(opts, NewCache)
+	return &Runner{
 		workers: workers,
 		sem:     make(chan struct{}, workers),
+		cache:   cfg.cache,
+		observe: cfg.observe,
 	}
-	for _, opt := range opts {
-		opt(r)
-	}
-	if r.cache == nil {
-		r.cache = NewCache()
-	}
-	if r.cacheCapSet {
-		r.cache.SetCapacity(r.cacheCap)
-	}
-	return r
 }
 
 // Workers reports the pool bound.
@@ -229,6 +246,13 @@ func (r *Runner) notify(key Key, cached bool, err error) {
 // milliseconds of simulation). A ctx error is returned as-is and is
 // never cached.
 func (r *Runner) Memo(ctx context.Context, key Key, compute func() (CellResult, error)) (float64, error) {
+	return r.memoOn(ctx, key, r.cache.stripeFor(key), compute)
+}
+
+// memoOn is Memo against a pre-resolved cache stripe: the sharded
+// executor routes pool and stripe off one key hash and hands the
+// stripe in directly.
+func (r *Runner) memoOn(ctx context.Context, key Key, st *stripe, compute func() (CellResult, error)) (float64, error) {
 	c := r.cache
 	wait := func(e *entry) (float64, error) {
 		select {
@@ -244,12 +268,12 @@ func (r *Runner) Memo(ctx context.Context, key Key, compute func() (CellResult, 
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
-	c.mu.Lock()
-	if e, ok := c.lookupLocked(key); ok {
-		c.mu.Unlock()
+	st.mu.Lock()
+	if e, ok := st.lookupLocked(key); ok {
+		st.mu.Unlock()
 		return wait(e)
 	}
-	c.mu.Unlock()
+	st.mu.Unlock()
 
 	// Acquire the pool token before committing to compute, so a queued
 	// cell can still be cancelled. Another goroutine may have published
@@ -259,14 +283,14 @@ func (r *Runner) Memo(ctx context.Context, key Key, compute func() (CellResult, 
 	case <-ctx.Done():
 		return 0, ctx.Err()
 	}
-	c.mu.Lock()
-	if e, ok := c.lookupLocked(key); ok {
-		c.mu.Unlock()
+	st.mu.Lock()
+	if e, ok := st.lookupLocked(key); ok {
+		st.mu.Unlock()
 		<-r.sem
 		return wait(e)
 	}
-	e := c.insertLocked(key)
-	c.mu.Unlock()
+	e := st.insertLocked(key)
+	st.mu.Unlock()
 
 	c.misses.Add(1)
 	// Release the token and wake waiters even if compute panics
@@ -330,10 +354,18 @@ func (r *Runner) Do(ctx context.Context, fn func() error) error {
 // out sizes): only Memo's compute holds a pool token, so outer levels
 // never starve inner ones.
 func (r *Runner) Map(ctx context.Context, n int, fn func(i int) error) error {
+	return mapIndices(ctx, r.workers, n, fn)
+}
+
+// mapIndices is the ordered fan-out shared by every in-process
+// executor (Runner, Sharded): it implements the Map contract for a
+// backend whose concurrency bound is workers. With workers == 1 the
+// indices run serially in order on the calling goroutine.
+func mapIndices(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil // an empty sweep is a no-op even under a cancelled ctx
 	}
-	if r.workers == 1 {
+	if workers == 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return err

@@ -1,0 +1,124 @@
+package runner
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+)
+
+// Sharded is the second in-process Executor: N independent worker
+// pools hash-partitioned by cell Key, fronted by one striped Cache.
+// Where a single Runner funnels every cell through one semaphore and
+// (with a single-stripe cache) one mutex, a Sharded executor gives each
+// shard its own pool token channel and each cache stripe its own lock,
+// so at high parallelism the scheduler stops being the bottleneck — the
+// paper's matrix is embarrassingly parallel, and the scheduler should
+// look that way too.
+//
+// Routing is content-keyed: a cell's shard is a pure function of its
+// Key (the same FNV hash that picks its cache stripe), so one key is
+// always computed by one shard and the single-flight invariant needs no
+// cross-shard coordination. Do calls, which carry no key, round-robin
+// over the shards. Virtual time makes every cell deterministic, so
+// results — and the assembled output of Map — are bit-identical to a
+// serial Runner's.
+//
+// The zero value is not usable; call NewSharded.
+type Sharded struct {
+	pools   []*Runner
+	cache   *Cache
+	workers int
+	rr      atomic.Uint64 // round-robin cursor for keyless Do calls
+}
+
+var _ Executor = (*Sharded)(nil)
+
+// NewSharded returns an Executor of shards independent worker pools,
+// each executing at most workersPerShard simulations at once, over a
+// shared striped cache. shards < 1 selects GOMAXPROCS;
+// workersPerShard < 1 divides GOMAXPROCS evenly across the shards
+// (minimum one).
+//
+// The same options as New apply. Without WithCache the executor builds
+// a striped cache sized to the shard count; handing a cache in with
+// WithCache uses it as-is — including its stripe count, so pass a
+// NewStripedCache when the point is contention relief.
+func NewSharded(shards, workersPerShard int, opts ...Option) *Sharded {
+	if shards < 1 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if workersPerShard < 1 {
+		workersPerShard = runtime.GOMAXPROCS(0) / shards
+		if workersPerShard < 1 {
+			workersPerShard = 1
+		}
+	}
+	cfg := resolve(opts, func() *Cache { return NewStripedCache(stripesFor(shards)) })
+	s := &Sharded{
+		pools:   make([]*Runner, shards),
+		cache:   cfg.cache,
+		workers: shards * workersPerShard,
+	}
+	for i := range s.pools {
+		s.pools[i] = New(workersPerShard, WithCache(cfg.cache), WithObserver(cfg.observe))
+	}
+	return s
+}
+
+// stripesFor picks a default stripe count for a shard count: the next
+// power of two at or above 4× the shards, so adjacent shards rarely
+// collide on a stripe lock even when their keys cluster.
+func stripesFor(shards int) int {
+	n := 1
+	for n < 4*shards {
+		n <<= 1
+	}
+	return n
+}
+
+// Shards reports the number of independent pools.
+func (s *Sharded) Shards() int { return len(s.pools) }
+
+// Memo resolves the cell on the shard owning its key: the shared
+// striped cache keeps single-flight per key, and the shard's pool
+// bounds how many of its cells simulate at once. One hash routes both
+// the pool and the cache stripe.
+func (s *Sharded) Memo(ctx context.Context, key Key, compute func() (CellResult, error)) (float64, error) {
+	h := key.hash()
+	pool := s.pools[bucket(h, len(s.pools))]
+	return pool.memoOn(ctx, key, s.cache.stripeAt(h), compute)
+}
+
+// Do runs fn under an execution slot of the next shard in round-robin
+// order — keyless direct runs spread evenly over the pools.
+func (s *Sharded) Do(ctx context.Context, fn func() error) error {
+	i := s.rr.Add(1) - 1
+	return s.pools[i%uint64(len(s.pools))].Do(ctx, fn)
+}
+
+// Map fans fn(0..n-1) out across goroutines, preserving the Runner.Map
+// contract: ordered assembly into pre-sized slices, the lowest-index
+// error among the indices that ran, early exit once any index fails.
+// Only Memo computes hold pool tokens, so Map may nest. With a total
+// worker count of one the indices run serially in order.
+func (s *Sharded) Map(ctx context.Context, n int, fn func(i int) error) error {
+	return mapIndices(ctx, s.workers, n, fn)
+}
+
+// Workers reports the total concurrency bound: the sum of the shard
+// pools.
+func (s *Sharded) Workers() int { return s.workers }
+
+// Stats snapshots the shared cache's memoization counters.
+func (s *Sharded) Stats() Stats { return s.cache.Stats() }
+
+// Cache returns the shared striped cache.
+func (s *Sharded) Cache() *Cache { return s.cache }
+
+// Observe installs fn as the per-cell completion callback on every
+// shard. Call it before submitting cells.
+func (s *Sharded) Observe(fn Observer) {
+	for _, p := range s.pools {
+		p.Observe(fn)
+	}
+}

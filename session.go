@@ -3,6 +3,7 @@ package tooleval
 import (
 	"context"
 	"fmt"
+	"runtime"
 
 	"tooleval/internal/bench"
 	"tooleval/internal/core"
@@ -24,6 +25,13 @@ type Cache = runner.Cache
 
 // NewCache returns an empty cell cache for use with WithCache.
 func NewCache() *Cache { return runner.NewCache() }
+
+// NewStripedCache returns an empty cell cache split into n
+// independently locked segments (n < 1 selects a default). Same
+// sharing contract as NewCache; prefer it when many sessions or a
+// sharded executor hammer one shared cache, where a single cache lock
+// would serialize them.
+func NewStripedCache(n int) *Cache { return runner.NewStripedCache(n) }
 
 // Cell identifies one memoized simulation cell — one entry of the
 // paper's evaluation matrix.
@@ -67,6 +75,7 @@ type Session struct {
 
 type sessionConfig struct {
 	parallelism int
+	shards      int
 	cache       *Cache
 	cacheCap    int
 	cacheCapSet bool
@@ -142,21 +151,36 @@ func WithProgress(fn ProgressFunc) Option {
 // uses GOMAXPROCS parallelism, a fresh private unbounded cache, the
 // built-in tool registry (p4, pvm, express), no budgets, and no event
 // sinks.
+//
+// NewSession panics on genuinely conflicting option combinations —
+// [WithCache] or [WithShardedExecutor] alongside [WithExecutor] — a
+// configuration bug that previously was silently dropped.
 func NewSession(opts ...Option) *Session {
 	var cfg sessionConfig
 	for _, opt := range opts {
 		opt(&cfg)
 	}
 	x := cfg.executor
-	if x == nil {
-		ropts := make([]runner.Option, 0, 2)
+	switch {
+	case x != nil:
+		// The executor was built by the caller, cache included: a second
+		// cache cannot be installed after the fact, so combining the two
+		// options is a configuration bug, not a preference to drop.
 		if cfg.cache != nil {
-			ropts = append(ropts, runner.WithCache(cfg.cache))
+			panic("tooleval: WithCache conflicts with WithExecutor — the executor owns its cache; build the executor over the shared cache instead")
 		}
+		if cfg.shards > 0 {
+			panic("tooleval: WithShardedExecutor conflicts with WithExecutor — they both pick the execution backend")
+		}
+		// A capacity bound, by contrast, applies to whatever cache the
+		// executor carries.
 		if cfg.cacheCapSet {
-			ropts = append(ropts, runner.WithCacheCapacity(cfg.cacheCap))
+			x.Cache().SetCapacity(cfg.cacheCap)
 		}
-		x = runner.New(cfg.parallelism, ropts...)
+	case cfg.shards > 0:
+		x = runner.NewSharded(cfg.shards, shardWorkers(cfg.parallelism, cfg.shards), cfg.runnerOptions()...)
+	default:
+		x = runner.New(cfg.parallelism, cfg.runnerOptions()...)
 	}
 	x = runner.NewQuota(x, cfg.limits)
 	var custom map[string]mpt.Factory
@@ -181,6 +205,34 @@ func NewSession(opts ...Option) *Session {
 		})
 	}
 	return s
+}
+
+// runnerOptions translates the session's cache configuration into
+// executor construction options (shared by the pooled and sharded
+// backends).
+func (c *sessionConfig) runnerOptions() []runner.Option {
+	ropts := make([]runner.Option, 0, 2)
+	if c.cache != nil {
+		ropts = append(ropts, runner.WithCache(c.cache))
+	}
+	if c.cacheCapSet {
+		ropts = append(ropts, runner.WithCacheCapacity(c.cacheCap))
+	}
+	return ropts
+}
+
+// shardWorkers divides the session's total parallelism bound across
+// the shards, rounding up so every shard gets at least one worker
+// (total < 1 selects GOMAXPROCS, like WithParallelism).
+func shardWorkers(total, shards int) int {
+	if total < 1 {
+		total = runtime.GOMAXPROCS(0)
+	}
+	per := (total + shards - 1) / shards
+	if per < 1 {
+		per = 1
+	}
+	return per
 }
 
 // emit fans an event out to every sink.

@@ -5,10 +5,12 @@ import (
 	"errors"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"tooleval"
+	"tooleval/internal/runner"
 )
 
 // TestRunAppEnforcesPortMatrix: RunApp must route through the same
@@ -277,5 +279,109 @@ func TestWithExecutorRoutesEverything(t *testing.T) {
 	limited := tooleval.NewSession(tooleval.WithExecutor(newFakeExecutor()), tooleval.WithMaxCells(1))
 	if _, err := limited.PingPong(ctx, "sun-ethernet", "p4", sizes); !errors.Is(err, tooleval.ErrQuotaExceeded) {
 		t.Fatalf("quota over custom executor = %v, want ErrQuotaExceeded", err)
+	}
+}
+
+// TestWithExecutorAppliesCacheCapacity: a capacity bound must reach a
+// caller-supplied executor's cache instead of being silently dropped
+// (the executor cannot be rebuilt, but SetCapacity applies to any
+// cache).
+func TestWithExecutorAppliesCacheCapacity(t *testing.T) {
+	x := runner.New(2)
+	sess := tooleval.NewSession(tooleval.WithExecutor(x), tooleval.WithCacheCapacity(5))
+	if got := x.Cache().Capacity(); got != 5 {
+		t.Fatalf("executor cache capacity = %d, want 5 (WithCacheCapacity applied)", got)
+	}
+	if sess.Cache().Capacity() != 5 {
+		t.Fatalf("session cache capacity = %d, want 5", sess.Cache().Capacity())
+	}
+}
+
+// TestWithExecutorConflictsPanic: combining WithCache (or
+// WithShardedExecutor) with WithExecutor is a configuration bug that
+// must fail loudly at construction, not be silently ignored.
+func TestWithExecutorConflictsPanic(t *testing.T) {
+	mustPanic := func(name string, build func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("%s: NewSession accepted a conflicting configuration", name)
+			}
+			if msg, ok := r.(string); !ok || !strings.Contains(msg, "WithExecutor") {
+				t.Fatalf("%s: panic %v does not name the conflict", name, r)
+			}
+		}()
+		build()
+	}
+	mustPanic("WithCache+WithExecutor", func() {
+		tooleval.NewSession(tooleval.WithExecutor(runner.New(1)), tooleval.WithCache(tooleval.NewCache()))
+	})
+	mustPanic("WithShardedExecutor+WithExecutor", func() {
+		tooleval.NewSession(tooleval.WithExecutor(runner.New(1)), tooleval.WithShardedExecutor(4))
+	})
+}
+
+// TestWithShardedExecutorMatchesSinglePool: the sharded backend is a
+// drop-in — same results, same memoization behavior, budgets and events
+// still apply — only the scheduling topology changes.
+func TestWithShardedExecutorMatchesSinglePool(t *testing.T) {
+	ctx := context.Background()
+	sizes := []int{0, 1 << 10, 4 << 10}
+	var cells atomic.Int64
+	sess := tooleval.NewSession(
+		tooleval.WithShardedExecutor(4),
+		tooleval.WithParallelism(8),
+		tooleval.WithProgress(func(tooleval.CellEvent) { cells.Add(1) }),
+	)
+	if got := sess.Parallelism(); got != 8 {
+		t.Fatalf("Parallelism = %d, want 8 (4 shards × 2)", got)
+	}
+	times, err := sess.PingPong(ctx, "sun-ethernet", "p4", sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reference, err := tooleval.NewSession(tooleval.WithParallelism(1)).PingPong(ctx, "sun-ethernet", "p4", sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range times {
+		if times[i] != reference[i] {
+			t.Fatalf("sharded backend diverged from serial: %v vs %v", times, reference)
+		}
+	}
+	if got := cells.Load(); got != int64(len(sizes)) {
+		t.Fatalf("events through sharded backend: %d cells, want %d", got, len(sizes))
+	}
+	// Replays are hits on the shared striped cache.
+	if _, err := sess.PingPong(ctx, "sun-ethernet", "p4", sizes); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := sess.Stats(); hits != int64(len(sizes)) || misses != int64(len(sizes)) {
+		t.Fatalf("sharded Stats = %d hits / %d misses, want %d/%d", hits, misses, len(sizes), len(sizes))
+	}
+	// Quotas wrap the sharded backend like any executor.
+	limited := tooleval.NewSession(tooleval.WithShardedExecutor(2), tooleval.WithMaxCells(1))
+	if _, err := limited.PingPong(ctx, "sun-ethernet", "p4", sizes); !errors.Is(err, tooleval.ErrQuotaExceeded) {
+		t.Fatalf("quota over sharded executor = %v, want ErrQuotaExceeded", err)
+	}
+}
+
+// TestWithShardedExecutorSharesCache: a shared (striped) cache pools
+// results between a sharded session and a single-pool session.
+func TestWithShardedExecutorSharesCache(t *testing.T) {
+	ctx := context.Background()
+	cache := tooleval.NewStripedCache(8)
+	sizes := []int{0, 2 << 10}
+	sharded := tooleval.NewSession(tooleval.WithShardedExecutor(2), tooleval.WithCache(cache))
+	if _, err := sharded.PingPong(ctx, "sun-ethernet", "p4", sizes); err != nil {
+		t.Fatal(err)
+	}
+	pooled := tooleval.NewSession(tooleval.WithParallelism(2), tooleval.WithCache(cache))
+	if _, err := pooled.PingPong(ctx, "sun-ethernet", "p4", sizes); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := pooled.Stats(); misses != int64(len(sizes)) || hits != int64(len(sizes)) {
+		t.Fatalf("shared striped cache stats = %d hits / %d misses, want %d/%d", hits, misses, len(sizes), len(sizes))
 	}
 }

@@ -58,18 +58,25 @@ func (s *Session) Stream(ctx context.Context, specs []ExperimentSpec) iter.Seq2[
 		for i, spec := range specs {
 			go func(i int, spec ExperimentSpec) {
 				defer wg.Done()
+				// Every submitted spec gets exactly one SpecStart/SpecDone
+				// pair, whatever its fate — invalid and cancelled specs
+				// included — so event sinks counting lifecycle pairs
+				// against the batch never miscount.
+				s.emit(SpecStart{Index: i, Spec: spec})
+				finish := func(res Result, err error) {
+					s.emit(SpecDone{Index: i, Spec: spec, Err: err})
+					slots[i] <- outcome{res, err}
+				}
 				if err := spec.validate(); err != nil {
-					slots[i] <- outcome{Result{Spec: spec}, fmt.Errorf("tooleval: spec %d: %w", i, err)}
+					finish(Result{Spec: spec}, fmt.Errorf("tooleval: spec %d: %w", i, err))
 					return
 				}
 				if err := ictx.Err(); err != nil {
-					slots[i] <- outcome{Result{Spec: spec}, err}
+					finish(Result{Spec: spec}, err)
 					return
 				}
-				s.emit(SpecStart{Index: i, Spec: spec})
 				res, err := s.runSpec(ictx, spec)
-				s.emit(SpecDone{Index: i, Spec: spec, Err: err})
-				slots[i] <- outcome{res, err}
+				finish(res, err)
 			}(i, spec)
 		}
 		for i := range specs {

@@ -207,6 +207,78 @@ func TestStreamEarlyBreakCancelsRemaining(t *testing.T) {
 	}
 }
 
+// TestStreamLifecycleEventsOnEveryPath pins the event contract the
+// batch surface owes its sinks: exactly one SpecStart/SpecDone pair
+// per submitted spec, on every path — specs that run, specs that fail
+// validation, and specs that arrive after cancellation. (Invalid and
+// cancelled specs used to skip both events, so sinks counting SpecDone
+// against the batch size miscounted.)
+func TestStreamLifecycleEventsOnEveryPath(t *testing.T) {
+	newCounter := func() (*sync.Mutex, map[int]int, map[int]int, map[int]error, tooleval.Option) {
+		var mu sync.Mutex
+		starts := map[int]int{}
+		dones := map[int]int{}
+		doneErrs := map[int]error{}
+		opt := tooleval.WithEvents(func(ev tooleval.Event) {
+			mu.Lock()
+			defer mu.Unlock()
+			switch e := ev.(type) {
+			case tooleval.SpecStart:
+				starts[e.Index]++
+			case tooleval.SpecDone:
+				dones[e.Index]++
+				doneErrs[e.Index] = e.Err
+			}
+		})
+		return &mu, starts, dones, doneErrs, opt
+	}
+	specs := []tooleval.ExperimentSpec{
+		{Kind: tooleval.KindPingPong, Platform: "sun-ethernet", Tool: "p4", Sizes: []int{0}},
+		{Kind: "frobnicate"}, // fails validate()
+		{Kind: tooleval.KindPingPong, Platform: "sun-ethernet", Tool: "pvm", Sizes: []int{0}},
+	}
+	assertPairs := func(t *testing.T, mu *sync.Mutex, starts, dones map[int]int, doneErrs map[int]error, errs []error) {
+		t.Helper()
+		mu.Lock()
+		defer mu.Unlock()
+		for i := range specs {
+			if starts[i] != 1 || dones[i] != 1 {
+				t.Fatalf("spec %d: %d SpecStart / %d SpecDone, want exactly one pair", i, starts[i], dones[i])
+			}
+			if (doneErrs[i] == nil) != (errs[i] == nil) {
+				t.Fatalf("spec %d: SpecDone.Err = %v, yielded err = %v", i, doneErrs[i], errs[i])
+			}
+		}
+	}
+
+	t.Run("invalid-spec", func(t *testing.T) {
+		mu, starts, dones, doneErrs, opt := newCounter()
+		sess := tooleval.NewSession(tooleval.WithParallelism(2), opt)
+		_, errs := sess.SubmitAll(context.Background(), specs)
+		if errs[1] == nil || !strings.Contains(errs[1].Error(), "frobnicate") {
+			t.Fatalf("spec 1 = %v, want the validation error", errs[1])
+		}
+		assertPairs(t, mu, starts, dones, doneErrs, errs)
+	})
+
+	t.Run("cancelled-before-start", func(t *testing.T) {
+		mu, starts, dones, doneErrs, opt := newCounter()
+		sess := tooleval.NewSession(tooleval.WithParallelism(2), opt)
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, errs := sess.SubmitAll(ctx, specs)
+		for i, err := range errs {
+			if err == nil {
+				t.Fatalf("spec %d under a cancelled ctx = nil error", i)
+			}
+		}
+		if !errors.Is(errs[0], context.Canceled) {
+			t.Fatalf("spec 0 = %v, want context.Canceled", errs[0])
+		}
+		assertPairs(t, mu, starts, dones, doneErrs, errs)
+	})
+}
+
 func TestStreamEmitsSpecEvents(t *testing.T) {
 	var mu sync.Mutex
 	starts := map[int]bool{}
