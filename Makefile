@@ -25,8 +25,9 @@ bench-smoke:
 	$(GO) test -run=NoSuchTest -bench=. -benchtime=1x ./...
 	$(GO) test -run=NoSuchTest -bench='MemoContention|ShardedSweep' -benchtime=1x -cpu 4 ./internal/runner
 
-# bench-baseline records the current figure + engine + scheduler
-# benchmark numbers into BENCH_PR5.json under the "pr5" label, carrying
-# the seed/pr3 history forward (see scripts/record_bench.sh).
+# bench-baseline records the current figure + store + engine +
+# scheduler benchmark numbers into BENCH_PR6.json under the "pr6"
+# label, carrying the seed/pr3/pr5 history forward (see
+# scripts/record_bench.sh).
 bench-baseline:
-	./scripts/record_bench.sh pr5
+	./scripts/record_bench.sh pr6

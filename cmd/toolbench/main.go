@@ -29,6 +29,14 @@
 //	-progress    stream live figure/phase progress to stderr (one line
 //	             per table/figure starting and finishing). Stdout stays
 //	             byte-identical with and without it.
+//	-store dir   memoize results durably in dir (an append-only,
+//	             checksummed segment file keyed by cell content). A
+//	             second run over an intact store re-simulates nothing;
+//	             a corrupted or engine-stale store is recovered by
+//	             re-simulating, and output stays byte-identical either
+//	             way.
+//	-stats       print the cache hit/miss counters to stderr after the
+//	             run (misses = cells actually simulated)
 //	-cpuprofile f  write a CPU profile of the sweep to f (pprof format)
 //	-memprofile f  write a heap profile taken after the sweep to f
 //
@@ -75,6 +83,8 @@ type config struct {
 	jobs       int
 	shards     int
 	progress   bool
+	store      string
+	stats      bool
 	cpuprofile string
 	memprofile string
 }
@@ -100,6 +110,8 @@ func runIO(ctx context.Context, args []string, w, errw io.Writer) (err error) {
 	fs.IntVar(&cfg.jobs, "j", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = serial)")
 	fs.IntVar(&cfg.shards, "shards", 0, "partition the workers into n hash-sharded pools (0 = single pool)")
 	fs.BoolVar(&cfg.progress, "progress", false, "stream live figure/phase progress to stderr")
+	fs.StringVar(&cfg.store, "store", "", "directory for the durable result store (a second run over an intact store re-simulates nothing)")
+	fs.BoolVar(&cfg.stats, "stats", false, "print cache hit/miss counters to stderr after the run")
 	fs.StringVar(&cfg.cpuprofile, "cpuprofile", "", "write a CPU profile of the sweep to this file")
 	fs.StringVar(&cfg.memprofile, "memprofile", "", "write a post-sweep heap profile to this file")
 	if err := fs.Parse(args); err != nil {
@@ -154,7 +166,34 @@ func runIO(ctx context.Context, args []string, w, errw io.Writer) (err error) {
 	if cfg.progress {
 		opts = append(opts, tooleval.WithEvents(progressSink(errw)))
 	}
+	if cfg.store != "" {
+		// Pre-flight the store so real IO problems (permissions, the path
+		// is a file) surface as ordinary CLI errors — NewSession panics on
+		// them. This also runs crash recovery up front; the session then
+		// opens the already-intact segment.
+		st, err := tooleval.OpenResultStore(cfg.store)
+		if err != nil {
+			return fmt.Errorf("-store %s: %w", cfg.store, err)
+		}
+		if err := st.Close(); err != nil {
+			return fmt.Errorf("-store %s: %w", cfg.store, err)
+		}
+		opts = append(opts, tooleval.WithResultStore(cfg.store))
+	}
 	sess := tooleval.NewSession(opts...)
+	defer func() {
+		// Close syncs the durable store; a latched write error means some
+		// results were not persisted and must fail the run.
+		if cerr := sess.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	if cfg.stats {
+		defer func() {
+			hits, misses := sess.Stats()
+			fmt.Fprintf(errw, "toolbench: cache stats: hits=%d misses=%d\n", hits, misses)
+		}()
+	}
 	switch exp {
 	case "list":
 		fmt.Fprintln(w, "experiments:", experiments())

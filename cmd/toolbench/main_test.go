@@ -330,3 +330,141 @@ func TestAllOutputIdenticalAcrossParallelism(t *testing.T) {
 		}
 	}
 }
+
+// readDir returns name -> contents for every regular file in dir.
+func readDir(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = string(b)
+	}
+	return out
+}
+
+func TestStoreMakesAllIncremental(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three full (scaled) sweeps")
+	}
+	store := t.TempDir()
+	base := []string{"-scale", "0.05", "-stats"}
+
+	// Storeless reference run.
+	var ref bytes.Buffer
+	refOut := t.TempDir()
+	if err := runIO(bg, append(append([]string{}, base...), "-out", refOut, "all"), &ref, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold run populates the store.
+	var cold, coldStats bytes.Buffer
+	coldOut := t.TempDir()
+	if err := runIO(bg, append(append([]string{}, base...), "-store", store, "-out", coldOut, "all"), &cold, &coldStats); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(coldStats.String(), "hits=") {
+		t.Fatalf("-stats wrote nothing to stderr: %q", coldStats.String())
+	}
+	if strings.Contains(coldStats.String(), "misses=0\n") {
+		t.Fatalf("cold run claims zero misses: %q", coldStats.String())
+	}
+	if _, err := os.Stat(filepath.Join(store, "cells.seg")); err != nil {
+		t.Fatalf("segment file not written: %v", err)
+	}
+
+	// Warm run replays every cell: zero misses, byte-identical artifacts.
+	var warm, warmStats bytes.Buffer
+	warmOut := t.TempDir()
+	if err := runIO(bg, append(append([]string{}, base...), "-store", store, "-out", warmOut, "all"), &warm, &warmStats); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(warmStats.String(), "misses=0") {
+		t.Fatalf("warm run still simulated cells: %q", warmStats.String())
+	}
+	if cold.String() != ref.String() || warm.String() != ref.String() {
+		t.Fatal("stdout differs between storeless, cold-store, and warm-store runs")
+	}
+	refFiles := readDir(t, refOut)
+	for name, dir := range map[string]string{"cold": coldOut, "warm": warmOut} {
+		files := readDir(t, dir)
+		if len(files) != len(refFiles) {
+			t.Fatalf("%s run wrote %d artifacts, reference %d", name, len(files), len(refFiles))
+		}
+		for f, want := range refFiles {
+			if files[f] != want {
+				t.Fatalf("%s run artifact %s differs from the storeless reference", name, f)
+			}
+		}
+	}
+}
+
+func TestStoreRecoversFromCorruption(t *testing.T) {
+	store := t.TempDir()
+	args := []string{"-scale", "0.05", "-store", store, "table3"}
+
+	var first bytes.Buffer
+	if err := runIO(bg, args, &first, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(store, "cells.seg")
+	blob, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob) < 200 {
+		t.Fatalf("segment suspiciously small: %d bytes", len(blob))
+	}
+	blob[len(blob)/2] ^= 0xFF
+	if err := os.WriteFile(seg, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The damaged store must not crash the run or change its numbers:
+	// the corrupt suffix is dropped and re-simulated.
+	var second, secondStats bytes.Buffer
+	if err := runIO(bg, append([]string{"-stats"}, args...), &second, &secondStats); err != nil {
+		t.Fatalf("run over a corrupted store failed: %v", err)
+	}
+	if second.String() != first.String() {
+		t.Fatal("output changed after segment corruption")
+	}
+	if !strings.Contains(secondStats.String(), "misses=") || strings.Contains(secondStats.String(), "misses=0\n") {
+		t.Fatalf("corruption recovery should re-simulate some cells: %q", secondStats.String())
+	}
+
+	// And the store heals: the next run is fully warm again.
+	var third, thirdStats bytes.Buffer
+	if err := runIO(bg, append([]string{"-stats"}, args...), &third, &thirdStats); err != nil {
+		t.Fatal(err)
+	}
+	if third.String() != first.String() {
+		t.Fatal("output changed after recovery")
+	}
+	if !strings.Contains(thirdStats.String(), "misses=0") {
+		t.Fatalf("store did not heal after recovery: %q", thirdStats.String())
+	}
+}
+
+func TestStoreFlagRejectsBadDir(t *testing.T) {
+	// A path whose parent is a file cannot become a store directory; the
+	// IO error must surface as a normal CLI error, not a panic.
+	dir := t.TempDir()
+	file := filepath.Join(dir, "occupied")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run(bg, []string{"-store", filepath.Join(file, "sub"), "table4"}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "-store") {
+		t.Fatalf("run error = %v, want a -store IO error", err)
+	}
+}

@@ -64,9 +64,18 @@ type Cache struct {
 	// Capacity(); each stripe holds its own share.
 	capacity atomic.Int64
 
+	// tier is the optional durable second tier (see SetTier): consulted
+	// on misses, written through on completed cells. Boxed behind an
+	// atomic pointer so the Memo hot path loads it without a lock.
+	tier atomic.Pointer[tierBox]
+
 	hits   atomic.Int64
 	misses atomic.Int64
 }
+
+// tierBox wraps the Tier interface value so it can sit behind an
+// atomic.Pointer.
+type tierBox struct{ t Tier }
 
 // defaultStripes is the stripe count NewStripedCache selects when the
 // caller does not care: wide enough that a handful of worker pools
@@ -112,7 +121,7 @@ func (c *Cache) stripeFor(key Key) *stripe {
 	if len(c.stripes) == 1 {
 		return c.stripes[0]
 	}
-	return c.stripeAt(key.hash())
+	return c.stripeAt(key.Hash())
 }
 
 // stripeAt picks the segment for a precomputed key hash, so callers
@@ -157,8 +166,11 @@ func fnvUint64(h, v uint64) uint64 {
 	return h
 }
 
-// hash is FNV-1a over the canonical key fields.
-func (k Key) hash() uint64 {
+// Hash is FNV-1a over the canonical key fields. One hash is the
+// content address everywhere: it partitions keys over cache stripes and
+// the sharded executor's pools, and the durable store records it per
+// cell as the key's fingerprint.
+func (k Key) Hash() uint64 {
 	h := uint64(fnvOffset64)
 	h = fnvString(h, k.Platform)
 	h = fnvString(h, k.Tool)
@@ -236,6 +248,20 @@ func (s *stripe) insertLocked(key Key) *entry {
 	s.m[key] = e
 	s.evictLocked()
 	return e
+}
+
+// remove un-publishes e from the stripe — the memoization path calls it
+// to retract an entry whose compute resolved to a context error, which
+// the Memo contract forbids caching. The entry-identity check makes the
+// retraction safe concurrently with Reset (which swaps the map) and
+// with a later re-publication of the same key.
+func (s *stripe) remove(key Key, e *entry) {
+	s.mu.Lock()
+	if cur, ok := s.m[key]; ok && cur == e {
+		delete(s.m, key)
+		s.order.Remove(e.el)
+	}
+	s.mu.Unlock()
 }
 
 // Stats snapshots the cache counters.

@@ -113,6 +113,18 @@ func (q *quotaExecutor) admit(ctx context.Context) (release func(), err error) {
 	return func() { <-q.adm }, nil
 }
 
+// notifyRefusal reports a quota refusal to the installed observer —
+// and only quota refusals, not context errors, which did not resolve
+// the cell. Detection is errors.As, not a bare type assertion: a
+// wrapping layer (the remote executor will wrap errors with transport
+// context) must not silently drop the observer callback.
+func (q *quotaExecutor) notifyRefusal(key Key, err error) {
+	var qe *QuotaError
+	if errors.As(err, &qe) && q.observe != nil {
+		q.observe(key, false, err)
+	}
+}
+
 // exceeded reports the first exhausted budget, or nil.
 func (q *quotaExecutor) exceeded() error {
 	if q.lim.MaxCells > 0 {
@@ -133,9 +145,7 @@ func (q *quotaExecutor) Memo(ctx context.Context, key Key, compute func() (CellR
 	if err != nil {
 		// The refusal resolved this cell (to an error) without touching
 		// the cache; report it to the observer like any other outcome.
-		if _, refused := err.(*QuotaError); refused && q.observe != nil {
-			q.observe(key, false, err)
-		}
+		q.notifyRefusal(key, err)
 		return 0, err
 	}
 	defer release()

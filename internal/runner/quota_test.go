@@ -1,7 +1,9 @@
 package runner
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -257,5 +259,35 @@ func TestQuotaRefusalsReachObserver(t *testing.T) {
 	defer mu.Unlock()
 	if len(refused) != 1 || refused[0] != want {
 		t.Fatalf("observer saw refusals %v, want exactly %v", refused, want)
+	}
+}
+
+func TestQuotaWrappedRefusalReachesObserver(t *testing.T) {
+	// notifyRefusal must detect the *QuotaError with errors.As, not a
+	// bare type assertion: a wrapping layer (a remote executor adding
+	// transport context) must not silently drop the observer callback.
+	q := &quotaExecutor{}
+	var seen []Key
+	var seenErr error
+	q.observe = func(key Key, cached bool, err error) {
+		seen = append(seen, key)
+		seenErr = err
+		if cached {
+			t.Error("refusal reported as cached")
+		}
+	}
+	key := Key{Bench: "wrapped"}
+	wrapped := fmt.Errorf("remote executor: %w", &QuotaError{Resource: "cells", Used: 3, Limit: 3})
+	q.notifyRefusal(key, wrapped)
+	if len(seen) != 1 || seen[0] != key {
+		t.Fatalf("observer saw %v, want exactly %v", seen, key)
+	}
+	if seenErr != wrapped {
+		t.Fatalf("observer error = %v, want the wrapped refusal passed through", seenErr)
+	}
+	// Context errors did not resolve the cell and must stay silent.
+	q.notifyRefusal(Key{Bench: "ctx"}, context.Canceled)
+	if len(seen) != 1 {
+		t.Fatalf("context error reached the observer: %v", seen)
 	}
 }

@@ -44,6 +44,7 @@ package runner
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -236,8 +237,22 @@ func (r *Runner) notify(key Key, cached bool, err error) {
 
 // Memo returns the memoized result for key, invoking compute (under a
 // worker-pool token) only if no completed or in-flight computation for
-// key exists. Errors are cached too: a failed cell fails the same way
-// on every retry, which is itself a deterministic fact worth keeping.
+// key exists. When the cache carries a durable second tier
+// (Cache.SetTier), a miss consults the tier before computing — a stored
+// cell counts as a hit and is never re-simulated — and every
+// successfully computed cell is written through to the tier.
+//
+// Which errors are memoized is part of the contract. Deterministic
+// failures — an error or panic out of compute itself — are cached: a
+// failed cell fails the same way on every retry, which is itself a
+// deterministic fact worth keeping (in the memory tier only; error
+// cells are never written to a durable tier). Context errors are the
+// opposite of deterministic — they describe the calling tenant, not the
+// cell — and are never cached: a compute that returns ctx.Err() (a
+// cancelled tenant's factory bailing out) has its entry retracted from
+// the cache, its coalesced waiters woken with the error, and nothing
+// written to any tier, so a shared or durable cache is never poisoned
+// by one tenant's cancellation.
 //
 // ctx is observed while waiting for a worker-pool token and while
 // waiting on an in-flight computation, so cancelling a sweep also
@@ -292,6 +307,22 @@ func (r *Runner) memoOn(ctx context.Context, key Key, st *stripe, compute func()
 	e := st.insertLocked(key)
 	st.mu.Unlock()
 
+	// This call owns the in-flight entry. Before simulating, consult the
+	// durable second tier: a stored cell is a hit — deterministic, so the
+	// stored result IS the result — served without charging a miss (or,
+	// through the quota wrapper, a budget).
+	tier := c.Tier()
+	if tier != nil {
+		if res, ok := tier.Lookup(key); ok {
+			e.val = res.Value
+			c.hits.Add(1)
+			<-r.sem
+			close(e.done)
+			r.notify(key, true, nil)
+			return e.val, nil
+		}
+	}
+
 	c.misses.Add(1)
 	// Release the token and wake waiters even if compute panics
 	// (user-supplied factories/apps run inside cells): a leaked token
@@ -299,6 +330,7 @@ func (r *Runner) memoOn(ctx context.Context, key Key, st *stripe, compute func()
 	// strand every coalesced waiter. The panic is cached as the cell's
 	// error — waiters must not read the zero value as success — and
 	// re-raised on this goroutine.
+	var res CellResult
 	defer func() {
 		if p := recover(); p != nil {
 			e.err = fmt.Errorf("runner: cell %s panicked: %v", key, p)
@@ -307,11 +339,26 @@ func (r *Runner) memoOn(ctx context.Context, key Key, st *stripe, compute func()
 			r.notify(key, false, e.err)
 			panic(p)
 		}
+		switch {
+		case e.err == nil:
+			// Write the completed cell through to the durable tier —
+			// behind the stripe lock's critical section, so a disk append
+			// never extends any lock hold.
+			if tier != nil {
+				tier.Fill(key, res)
+			}
+		case errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded):
+			// The Memo contract: context errors are never cached. This
+			// compute was aborted by its tenant's cancellation, which says
+			// nothing about the cell — retract the entry so the next
+			// request re-simulates, and wake the coalesced waiters with
+			// the error. Nothing reaches the durable tier either.
+			st.remove(key, e)
+		}
 		<-r.sem
 		close(e.done)
 		r.notify(key, false, e.err)
 	}()
-	var res CellResult
 	res, e.err = compute()
 	e.val = res.Value
 	return e.val, e.err
@@ -361,6 +408,14 @@ func (r *Runner) Map(ctx context.Context, n int, fn func(i int) error) error {
 // executor (Runner, Sharded): it implements the Map contract for a
 // backend whose concurrency bound is workers. With workers == 1 the
 // indices run serially in order on the calling goroutine.
+//
+// At most workers goroutines are launched regardless of n — a generated
+// 100k-cell sweep must not spawn 100k goroutines just to funnel them
+// through a 4-token semaphore. The goroutines dispatch indices in
+// ascending order from a shared counter, so index assignment stays
+// dense and the lowest-index-error rule means the same thing it does
+// serially. Nested Maps each bound their own level; only Memo computes
+// hold pool tokens, so the levels never starve each other.
 func mapIndices(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil // an empty sweep is a no-op even under a cancelled ctx
@@ -376,26 +431,34 @@ func mapIndices(ctx context.Context, workers, n int, fn func(i int) error) error
 		}
 		return nil
 	}
+	if workers > n {
+		workers = n
+	}
 	errs := make([]error, n)
+	var next atomic.Int64 // the dispatch counter the workers draw from
 	var failed atomic.Bool
 	var wg sync.WaitGroup
-	wg.Add(n)
-	for i := 0; i < n; i++ {
-		go func(i int) {
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
 			defer wg.Done()
-			if failed.Load() {
-				return
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
 			}
-			if err := ctx.Err(); err != nil {
-				errs[i] = err
-				failed.Store(true)
-				return
-			}
-			if err := fn(i); err != nil {
-				errs[i] = err
-				failed.Store(true)
-			}
-		}(i)
+		}()
 	}
 	wg.Wait()
 	for _, err := range errs {

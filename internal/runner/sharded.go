@@ -84,7 +84,7 @@ func (s *Sharded) Shards() int { return len(s.pools) }
 // bounds how many of its cells simulate at once. One hash routes both
 // the pool and the cache stripe.
 func (s *Sharded) Memo(ctx context.Context, key Key, compute func() (CellResult, error)) (float64, error) {
-	h := key.hash()
+	h := key.Hash()
 	pool := s.pools[bucket(h, len(s.pools))]
 	return pool.memoOn(ctx, key, s.cache.stripeAt(h), compute)
 }

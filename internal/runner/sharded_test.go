@@ -17,7 +17,7 @@ func keysInBucket(buckets, want, n int) []Key {
 	keys := make([]Key, 0, n)
 	for size := 0; len(keys) < n; size++ {
 		k := Key{Bench: "pin", Size: size}
-		if bucket(k.hash(), buckets) == want {
+		if bucket(k.Hash(), buckets) == want {
 			keys = append(keys, k)
 		}
 	}
@@ -321,7 +321,7 @@ func TestKeyHashStable(t *testing.T) {
 	// Routing must be a pure function of the key's content: equal keys
 	// hash equal, and distinct fields actually reach the hash.
 	a := Key{Platform: "sun-ethernet", Tool: "p4", Bench: "pingpong", Procs: 2, Size: 1024}
-	if a.hash() != a.hash() {
+	if a.Hash() != a.Hash() {
 		t.Fatal("hash is not deterministic")
 	}
 	distinct := []Key{
@@ -335,10 +335,10 @@ func TestKeyHashStable(t *testing.T) {
 	}
 	hashes := map[uint64]Key{}
 	for _, k := range distinct {
-		if prev, dup := hashes[k.hash()]; dup {
+		if prev, dup := hashes[k.Hash()]; dup {
 			t.Fatalf("hash collision between %v and %v", prev, k)
 		}
-		hashes[k.hash()] = k
+		hashes[k.Hash()] = k
 	}
 }
 

@@ -1,0 +1,18 @@
+package sim
+
+// EngineVersion identifies the result-affecting behavior of the
+// simulation stack: the engine's event semantics plus everything
+// layered on it that shapes a simulated measurement (network models,
+// tool models, platform tables, benchmark bodies). It is the
+// invalidation stamp of the durable result store — a persisted cell is
+// only trusted if it was written by the same EngineVersion, so bumping
+// this constant retires every stored result at once.
+//
+// Bump it on ANY change that can alter a simulated value, however
+// small: a cost-model tweak, an event-ordering fix, a platform-table
+// correction. Leaving it unbumped after such a change makes old stores
+// replay stale results that a fresh simulation would no longer produce.
+// Pure performance work that provably preserves results (the PR 3
+// allocation rework, scheduler sharding) does not need a bump — the
+// determinism suite is the judge.
+const EngineVersion uint64 = 1

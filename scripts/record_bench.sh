@@ -7,9 +7,10 @@
 # benchmarks always run 1x so the first — and only — iteration actually
 # simulates instead of replaying the memoization cache).
 #
-# Labels seed..pr3 maintain the PR 3 ledger BENCH_PR3.json; the pr5
-# label (and anything after it) writes BENCH_PR5.json, seeded from the
-# PR 3 ledger so one file carries the seed vs pr3 vs pr5 progression.
+# Labels seed..pr3 maintain the PR 3 ledger BENCH_PR3.json; pr5 writes
+# BENCH_PR5.json seeded from the PR 3 ledger; the pr6 label (and
+# anything after it) writes BENCH_PR6.json, seeded from the PR 5
+# ledger — each file carries the full seed..prN progression.
 #
 # The contention benchmarks run at -cpu 4 so the serial/pooled/sharded
 # comparison actually contends even when GOMAXPROCS defaults low.
@@ -27,7 +28,7 @@ trap 'rm -f "$tmp"' EXIT
 out="BENCH_PR3.json"
 case "$label" in
 seed | pr3) ;;
-*)
+pr5)
 	out="BENCH_PR5.json"
 	# Carry the recorded history forward: benchjson preserves every
 	# label already in the output file.
@@ -35,10 +36,16 @@ seed | pr3) ;;
 		cp BENCH_PR3.json "$out"
 	fi
 	;;
+*)
+	out="BENCH_PR6.json"
+	if [ ! -f "$out" ] && [ -f BENCH_PR5.json ]; then
+		cp BENCH_PR5.json "$out"
+	fi
+	;;
 esac
 
-echo "record_bench: figure benchmarks (-benchtime=1x)" >&2
-go test -run=NoSuchTest -bench='Table|Fig|ADL' -benchmem -benchtime=1x . >"$tmp"
+echo "record_bench: figure + store benchmarks (-benchtime=1x)" >&2
+go test -run=NoSuchTest -bench='Table|Fig|ADL|Store' -benchmem -benchtime=1x . >"$tmp"
 echo "record_bench: sim microbenchmarks (-benchtime=$count)" >&2
 go test -run=NoSuchTest -bench=. -benchmem -benchtime="$count" ./internal/sim >>"$tmp"
 echo "record_bench: scheduler contention benchmarks (-cpu 4)" >&2

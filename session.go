@@ -10,6 +10,8 @@ import (
 	"tooleval/internal/mpt"
 	"tooleval/internal/platform"
 	"tooleval/internal/runner"
+	"tooleval/internal/sim"
+	"tooleval/internal/store"
 )
 
 // Cache is a shareable store of memoized simulation cells. Every cell
@@ -71,6 +73,7 @@ type Session struct {
 	h           *bench.Harness
 	parallelism int
 	sinks       []func(Event)
+	store       *store.Store // owned durable tier (WithResultStore), nil otherwise
 }
 
 type sessionConfig struct {
@@ -83,6 +86,7 @@ type sessionConfig struct {
 	sinks       []func(Event)
 	executor    Executor
 	limits      runner.Limits
+	storeDir    string
 }
 
 // Option configures a Session under construction.
@@ -172,6 +176,9 @@ func NewSession(opts ...Option) *Session {
 		if cfg.shards > 0 {
 			panic("tooleval: WithShardedExecutor conflicts with WithExecutor — they both pick the execution backend")
 		}
+		if cfg.storeDir != "" {
+			panic("tooleval: WithResultStore conflicts with WithExecutor — the executor owns its cache; open the store with OpenResultStore and attach it to the executor's cache via SetTier instead")
+		}
 		// A capacity bound, by contrast, applies to whatever cache the
 		// executor carries.
 		if cfg.cacheCapSet {
@@ -181,6 +188,22 @@ func NewSession(opts ...Option) *Session {
 		x = runner.NewSharded(cfg.shards, shardWorkers(cfg.parallelism, cfg.shards), cfg.runnerOptions()...)
 	default:
 		x = runner.New(cfg.parallelism, cfg.runnerOptions()...)
+	}
+	var durable *store.Store
+	if cfg.storeDir != "" {
+		var err error
+		durable, err = store.Open(cfg.storeDir, sim.EngineVersion)
+		if err != nil {
+			panic(fmt.Sprintf("tooleval: WithResultStore(%q): %v", cfg.storeDir, err))
+		}
+		// SetTier panics if the cache (possibly shared via WithCache)
+		// already carries a tier — release the file first so the panic
+		// does not leak the handle.
+		if x.Cache().Tier() != nil {
+			durable.Close()
+			panic("tooleval: WithResultStore — the session's cache already has a result store attached; attach the store to the shared cache once instead")
+		}
+		x.Cache().SetTier(durable)
 	}
 	x = runner.NewQuota(x, cfg.limits)
 	var custom map[string]mpt.Factory
@@ -194,6 +217,7 @@ func NewSession(opts ...Option) *Session {
 		h:           bench.NewHarnessWithTools(x, custom),
 		parallelism: x.Workers(),
 		sinks:       cfg.sinks,
+		store:       durable,
 	}
 	if len(s.sinks) > 0 {
 		x.Observe(func(key runner.Key, cached bool, err error) {
@@ -244,6 +268,24 @@ func (s *Session) emit(ev Event) {
 
 // Parallelism reports the session's simulation concurrency bound.
 func (s *Session) Parallelism() int { return s.parallelism }
+
+// Close releases resources the session owns — today, the durable
+// result store opened by [WithResultStore]: it syncs and closes the
+// segment file and returns the first write error the store hit (a
+// latched Fill error means some cells were simulated but not
+// persisted; results were still correct). Sessions without a store
+// return nil. The session remains usable for evaluation after Close —
+// it just stops persisting new cells.
+func (s *Session) Close() error {
+	if s.store == nil {
+		return nil
+	}
+	return s.store.Close()
+}
+
+// ResultStore returns the durable tier opened by [WithResultStore],
+// or nil.
+func (s *Session) ResultStore() *ResultStore { return s.store }
 
 // Executor returns the session's execution backend: the quota-wrapped
 // view of the built-in pool or of the [WithExecutor] replacement —

@@ -1,0 +1,141 @@
+package tooleval_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tooleval"
+	"tooleval/internal/runner"
+)
+
+// TestWithResultStoreIncrementalAcrossSessions is the restart story:
+// a second session over the same store directory replays every cell
+// from disk — zero misses, identical numbers.
+func TestWithResultStoreIncrementalAcrossSessions(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	sizes := []int{64, 1 << 10, 16 << 10}
+
+	sess1 := tooleval.NewSession(tooleval.WithResultStore(dir))
+	cold, err := sess1.PingPong(ctx, "sun-ethernet", "p4", sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := sess1.Stats(); misses == 0 {
+		t.Fatal("cold run reported zero misses; nothing was simulated?")
+	}
+	if st := sess1.ResultStore(); st == nil || st.Len() == 0 {
+		t.Fatal("cold run wrote nothing to the result store")
+	}
+	if err := sess1.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "cells.seg")); err != nil {
+		t.Fatalf("segment file missing after Close: %v", err)
+	}
+
+	sess2 := tooleval.NewSession(tooleval.WithResultStore(dir))
+	defer sess2.Close()
+	warm, err := sess2.PingPong(ctx, "sun-ethernet", "p4", sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := sess2.Stats()
+	if misses != 0 {
+		t.Fatalf("warm run simulated %d cells, want 0 (all replayed from the store)", misses)
+	}
+	if hits == 0 {
+		t.Fatal("warm run reported zero hits")
+	}
+	for i := range cold {
+		if warm[i] != cold[i] {
+			t.Fatalf("size %d: warm %v != cold %v; replayed cells must be identical", sizes[i], warm[i], cold[i])
+		}
+	}
+}
+
+// TestSessionCloseWithoutStore: Close on a storeless session is a nil
+// no-op, so callers can defer it unconditionally.
+func TestSessionCloseWithoutStore(t *testing.T) {
+	sess := tooleval.NewSession()
+	if sess.ResultStore() != nil {
+		t.Fatal("storeless session reports a result store")
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestWithResultStoreConflictsPanic: the option combinations that would
+// silently mis-wire the durable tier must fail loudly at construction.
+func TestWithResultStoreConflictsPanic(t *testing.T) {
+	mustPanicStore := func(name, wantSub string, build func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("%s: NewSession accepted a conflicting configuration", name)
+			}
+			if msg, ok := r.(string); !ok || !strings.Contains(msg, wantSub) {
+				t.Fatalf("%s: panic %v does not explain the conflict (want %q)", name, r, wantSub)
+			}
+		}()
+		build()
+	}
+	dir := t.TempDir()
+	mustPanicStore("WithResultStore+WithExecutor", "WithResultStore", func() {
+		tooleval.NewSession(tooleval.WithExecutor(runner.New(1)), tooleval.WithResultStore(dir))
+	})
+	// A shared cache that already carries a tier must not be silently
+	// pointed at a second store by another session.
+	cache := tooleval.NewCache()
+	sess := tooleval.NewSession(tooleval.WithCache(cache), tooleval.WithResultStore(t.TempDir()))
+	defer sess.Close()
+	mustPanicStore("second store on a shared cache", "already has a result store", func() {
+		tooleval.NewSession(tooleval.WithCache(cache), tooleval.WithResultStore(t.TempDir()))
+	})
+}
+
+// TestOpenResultStoreWithCustomExecutor is the escape hatch the
+// WithExecutor panic points at: open the store yourself and attach it
+// to the executor's cache.
+func TestOpenResultStoreWithCustomExecutor(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	sizes := []int{128, 2 << 10}
+
+	st, err := tooleval.OpenResultStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := runner.New(2)
+	x.Cache().SetTier(st)
+	sess := tooleval.NewSession(tooleval.WithExecutor(x))
+	cold, err := sess.PingPong(ctx, "sun-ethernet", "p4", sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A store-owning session over the same directory replays the cells
+	// the custom executor persisted.
+	sess2 := tooleval.NewSession(tooleval.WithResultStore(dir))
+	defer sess2.Close()
+	warm, err := sess2.PingPong(ctx, "sun-ethernet", "p4", sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := sess2.Stats(); misses != 0 {
+		t.Fatalf("warm run simulated %d cells, want 0", misses)
+	}
+	for i := range cold {
+		if warm[i] != cold[i] {
+			t.Fatalf("size %d: warm %v != cold %v", sizes[i], warm[i], cold[i])
+		}
+	}
+}
