@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet examples bench-smoke bench-baseline
+.PHONY: build test vet examples toolbenchd-smoke bench-smoke bench-baseline
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,14 @@ vet:
 examples:
 	$(GO) build ./examples/...
 	@set -e; for d in examples/*/; do echo "==> $$d"; $(GO) run "./$$d" > /dev/null; done
+
+# toolbenchd-smoke is the local mirror of CI's toolbenchd job: build
+# the daemon, run the server suite under the race detector, and stream
+# the short-mode concurrent-tenant load test.
+toolbenchd-smoke:
+	$(GO) build -o /tmp/toolbenchd ./cmd/toolbenchd
+	$(GO) test -race ./internal/server
+	$(GO) test -race -short -run TestLoadManyConcurrentTenants -v ./internal/server
 
 # bench-smoke compiles and runs every benchmark for exactly one
 # iteration — the CI guard against benchmark bit-rot — plus one

@@ -1,0 +1,94 @@
+// Command toolbenchd serves the tool-evaluation methodology as a
+// long-running multi-tenant HTTP daemon. Tenants POST ExperimentSpec
+// batches to /v1/jobs, stream the sweep lifecycle back as server-sent
+// events, and fetch the final report from /v1/jobs/{id}/report; see
+// internal/server for the API and README.md for examples.
+//
+// SIGTERM or SIGINT starts a graceful drain: the daemon stops
+// admitting jobs, finishes in-flight sweeps (bounded by
+// -drain-timeout), flushes the durable store, and exits 0. A second
+// signal exits immediately.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"tooleval/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatalf("toolbenchd: %v", err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("toolbenchd", flag.ExitOnError)
+	cfg := server.Config{
+		Tiers:       make(map[string]server.QuotaTier),
+		TenantTiers: make(map[string]string),
+		Logf:        log.Printf,
+	}
+	fs.StringVar(&cfg.Addr, "addr", ":8080", "listen address")
+	fs.IntVar(&cfg.Parallelism, "j", 0, "per-tenant worker parallelism (0 = GOMAXPROCS)")
+	fs.IntVar(&cfg.Shards, "shards", 0, "per-tenant sharded executor shards (0 = single pool)")
+	fs.IntVar(&cfg.CacheStripes, "cache-stripes", 0, "shared cache lock stripes (0 = default)")
+	fs.IntVar(&cfg.CacheCapacity, "cache-cap", 0, "shared cache capacity in cells, LRU-evicted (0 = unbounded)")
+	fs.StringVar(&cfg.StoreDir, "store", "", "durable result store directory (empty = memory only)")
+	fs.DurationVar(&cfg.DrainTimeout, "drain-timeout", 0, "graceful drain deadline (0 = 30s)")
+	fs.IntVar(&cfg.MaxJobsRetained, "retain-jobs", 0, "finished jobs retained per tenant (0 = 64)")
+	fs.IntVar(&cfg.MaxSpecsPerJob, "max-specs", 0, "largest accepted batch (0 = 1024)")
+	fs.StringVar(&cfg.DefaultTier, "default-tier", "", "tier for unmapped tenants (empty = unlimited)")
+	fs.Func("tier", "quota tier `name=cells:N,vt:DUR,jobs:N` (repeatable; omitted budgets are unlimited)",
+		func(v string) error {
+			t, err := server.ParseTier(v)
+			if err != nil {
+				return err
+			}
+			cfg.Tiers[t.Name] = t
+			return nil
+		})
+	fs.Func("tenant-tier", "map `tenant=tier` (repeatable)",
+		func(v string) error {
+			tenant, tier, err := server.ParseTenantTier(v)
+			if err != nil {
+				return err
+			}
+			cfg.TenantTiers[tenant] = tier
+			return nil
+		})
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: toolbenchd [flags]\n\n")
+		fmt.Fprintf(fs.Output(), "Serve the evaluation methodology as a multi-tenant HTTP daemon.\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	srv, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	// First SIGTERM/SIGINT cancels ctx and starts the drain; a second
+	// one restores default handling, so it kills the process.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+
+	return srv.ListenAndServe(ctx)
+}

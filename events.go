@@ -1,5 +1,7 @@
 package tooleval
 
+import "context"
+
 // Event is the sum of everything a session reports through WithEvents:
 // cell completions ([CellEvent]), experiment-spec lifecycle from the
 // batch surface ([SpecStart], [SpecDone]), and table/figure phase
@@ -83,4 +85,37 @@ func WithEvents(fn func(Event)) Option {
 			c.sinks = append(c.sinks, fn)
 		}
 	}
+}
+
+// eventSinkKey carries a per-batch event sink through a Context.
+type eventSinkKey struct{}
+
+// EventContext returns a context that routes every [Event] produced by
+// session work scheduled under it to fn, in addition to the session's
+// [WithEvents] sinks. Unlike WithEvents — fixed at construction and
+// fired for everything the session ever does — a context sink is
+// scoped to one call tree: two concurrent [Session.Stream] batches on
+// one session each see exactly their own SpecStart/SpecDone pairs,
+// phase events, and cell completions, which is what lets a server
+// multiplex many client streams over one per-tenant session.
+//
+// fn runs on whichever goroutine produced the event and must be safe
+// for concurrent use; it must not call back into the Session. Cells
+// coalesced onto another batch's in-flight simulation are still
+// reported to this batch's sink (cached=true), exactly as they are to
+// WithEvents sinks.
+func EventContext(ctx context.Context, fn func(Event)) context.Context {
+	if fn == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, eventSinkKey{}, fn)
+}
+
+// sinkFrom extracts the per-batch sink, if ctx carries one.
+func sinkFrom(ctx context.Context) func(Event) {
+	if ctx == nil {
+		return nil
+	}
+	fn, _ := ctx.Value(eventSinkKey{}).(func(Event))
+	return fn
 }

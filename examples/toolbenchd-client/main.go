@@ -1,0 +1,198 @@
+// toolbenchd-client is a minimal Go client for the toolbenchd HTTP
+// API: submit an ExperimentSpec batch, consume the server-sent event
+// stream while the sweep runs, and fetch the final JSON report.
+//
+// To stay runnable standalone (make examples runs every example to
+// completion), it hosts its own toolbenchd in-process on a loopback
+// port and talks to it over real HTTP — the client half is exactly
+// what a remote tenant would write against a deployed daemon.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+
+	"tooleval/internal/server"
+)
+
+func main() {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// --- the server half: a toolbenchd with one modest quota tier.
+	// A real deployment runs `toolbenchd -addr :8080 -tier ...`
+	// instead; everything below the next comment is pure client code.
+	srv, err := server.New(server.Config{
+		Tiers: map[string]server.QuotaTier{
+			"demo":    {Name: "demo", MaxConcurrentJobs: 4},
+			"metered": {Name: "metered", MaxCells: 2},
+		},
+		DefaultTier: "demo",
+		TenantTiers: map[string]string{"budget-works": "metered"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln) }()
+	base := "http://" + ln.Addr().String()
+
+	// --- the client half: submit a batch as JSON.
+	batch := `{"specs": [
+		{"kind": "pingpong", "platform": "sun-ethernet", "tool": "p4", "sizes": [0, 1024, 65536]},
+		{"kind": "pingpong", "platform": "sun-ethernet", "tool": "pvm", "sizes": [0, 1024, 65536]},
+		{"kind": "app", "platform": "sun-ethernet", "tool": "p4", "app": "fft2d", "procs_list": [1, 2, 4, 8], "scale": 1}
+	]}`
+	req, err := http.NewRequestWithContext(ctx, "POST", base+"/v1/jobs", strings.NewReader(batch))
+	if err != nil {
+		log.Fatal(err)
+	}
+	req.Header.Set("X-Tenant", "example")
+	req.Header.Set("Accept", "text/event-stream") // stream, don't block
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		log.Fatalf("submit: %s: %s", resp.Status, body)
+	}
+
+	// Consume the SSE feed: the first event names the job, then the
+	// sweep lifecycle streams until job_done.
+	var jobID string
+	cells := 0
+	sc := bufio.NewScanner(resp.Body)
+	var event string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			switch event {
+			case "job":
+				var w struct {
+					Job   string `json:"job"`
+					Specs int    `json:"specs"`
+				}
+				json.Unmarshal([]byte(data), &w)
+				jobID = w.Job
+				fmt.Printf("job %s admitted (%d specs)\n", w.Job, w.Specs)
+			case "spec_start":
+				var w struct {
+					Index int `json:"index"`
+					Spec  struct {
+						Kind string `json:"kind"`
+						Tool string `json:"tool"`
+					} `json:"spec"`
+				}
+				json.Unmarshal([]byte(data), &w)
+				fmt.Printf("  spec %d started: %s/%s\n", w.Index, w.Spec.Kind, w.Spec.Tool)
+			case "cell":
+				cells++
+			case "spec_done":
+				var w struct {
+					Index int    `json:"index"`
+					Error string `json:"error"`
+				}
+				json.Unmarshal([]byte(data), &w)
+				status := "ok"
+				if w.Error != "" {
+					status = w.Error
+				}
+				fmt.Printf("  spec %d done: %s\n", w.Index, status)
+			case "job_done":
+				var w struct {
+					State string `json:"state"`
+					Cells int    `json:"cells"`
+				}
+				json.Unmarshal([]byte(data), &w)
+				fmt.Printf("job finished: state=%s, %d cell events streamed\n", w.State, w.Cells)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Fetch the final report — the same bytes a local Session renders
+	// for this batch.
+	req, err = http.NewRequestWithContext(ctx, "GET", base+"/v1/jobs/"+jobID+"/report", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	req.Header.Set("X-Tenant", "example")
+	r2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := io.ReadAll(r2.Body)
+	r2.Body.Close()
+	if err != nil || r2.StatusCode != http.StatusOK {
+		log.Fatalf("report: %s: %v", r2.Status, err)
+	}
+	var parsed struct {
+		Specs []struct {
+			Spec  struct{ Kind, Tool, App string } `json:"spec"`
+			Times []float64                        `json:"times"`
+			App   *struct {
+				Procs   []int     `json:"procs"`
+				Seconds []float64 `json:"seconds"`
+			} `json:"app"`
+		} `json:"specs"`
+	}
+	if err := json.Unmarshal(report, &parsed); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreport (%d bytes):\n", len(report))
+	for i, s := range parsed.Specs {
+		switch {
+		case s.App != nil:
+			fmt.Printf("  spec %d: %s %s on %d proc counts, T(1)=%.2fs T(%d)=%.2fs\n",
+				i, s.Spec.App, s.Spec.Tool, len(s.App.Procs),
+				s.App.Seconds[0], s.App.Procs[len(s.App.Procs)-1], s.App.Seconds[len(s.App.Seconds)-1])
+		default:
+			fmt.Printf("  spec %d: %s %s, %d sizes, t0=%.3fms\n",
+				i, s.Spec.Kind, s.Spec.Tool, len(s.Times), s.Times[0])
+		}
+	}
+
+	// A quota refusal is a typed 429: the "budget-works" tenant rides
+	// the metered tier (2 cells), so a sweep of fresh cells — cache
+	// hits are free, these are not cached yet — exhausts its budget
+	// and the per-spec errors say which resource ran out.
+	r3, err := http.Post(base+"/v1/jobs?tenant=budget-works", "application/json",
+		bytes.NewReader([]byte(`{"specs":[{"kind":"ring","platform":"alpha-fddi","tool":"pvm","procs":8,"sizes":[0,1024,65536]}]}`)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	body3, _ := io.ReadAll(r3.Body)
+	r3.Body.Close()
+	fmt.Printf("\nmetered tenant: %s\n", r3.Status)
+	if r3.StatusCode != http.StatusTooManyRequests {
+		log.Fatalf("expected a 429, got %s: %s", r3.Status, body3)
+	}
+
+	// SIGTERM equivalent: cancel the serve context and wait for the
+	// graceful drain.
+	cancel()
+	if err := <-done; err != nil {
+		log.Fatalf("drain: %v", err)
+	}
+	fmt.Println("server drained cleanly")
+}

@@ -17,8 +17,8 @@ import (
 // memoized, so an Evaluate following a `toolbench all` sweep re-uses
 // the sweep's results and simulates nothing.
 func (h *Harness) Evaluate(ctx context.Context, profile core.WeightProfile, scale float64) (_ *core.Evaluation, err error) {
-	h.phaseStart(ExpReport)
-	defer h.phaseDone(ExpReport, &err)
+	h.phaseStart(ctx, ExpReport)
+	defer h.phaseDone(ctx, ExpReport, &err)
 	var (
 		t3               *Table3Result
 		fig2, fig3, fig4 *FigureResult

@@ -50,8 +50,8 @@ type Table3Result struct {
 // fan out through the runner; assembly into the result maps happens
 // serially afterwards, in the fixed network/tool order.
 func (h *Harness) Table3(ctx context.Context) (_ *Table3Result, err error) {
-	h.phaseStart(ExpTable3)
-	defer h.phaseDone(ExpTable3, &err)
+	h.phaseStart(ctx, ExpTable3)
+	defer h.phaseDone(ctx, ExpTable3, &err)
 	res := &Table3Result{SizesBytes: StandardSizes(), TimesMs: map[string]map[string][]float64{}}
 	type job struct {
 		net, tool string
@@ -164,8 +164,8 @@ func (h *Harness) Fig3(ctx context.Context, procs int) (*FigureResult, error) {
 }
 
 func (h *Harness) tplFigure(ctx context.Context, id, title string, procs int, sizes []int, run func(context.Context, platform.Platform, string, int, []int) ([]float64, error)) (_ *FigureResult, err error) {
-	h.phaseStart(id)
-	defer h.phaseDone(id, &err)
+	h.phaseStart(ctx, id)
+	defer h.phaseDone(ctx, id, &err)
 	fig := &FigureResult{ID: id, Title: title + " on SUN stations", XLabel: "Message Size (Kbytes)", YLabel: "Execution Time (msec)"}
 	type job struct {
 		key  string
@@ -206,8 +206,8 @@ func (h *Harness) tplFigure(ctx context.Context, id, title string, procs int, si
 // Fig4 regenerates the global summation figure (p4 and Express on
 // Ethernet, p4 on NYNET; PVM has no global operation).
 func (h *Harness) Fig4(ctx context.Context, procs int) (_ *FigureResult, err error) {
-	h.phaseStart(ExpFig4)
-	defer h.phaseDone(ExpFig4, &err)
+	h.phaseStart(ctx, ExpFig4)
+	defer h.phaseDone(ctx, ExpFig4, &err)
 	fig := &FigureResult{
 		ID: ExpFig4, Title: "Vector global-sum timing on SUN stations",
 		XLabel: "Vector Size (# of integers)", YLabel: "Execution Time (msec)",
@@ -252,8 +252,8 @@ func (h *Harness) Fig4(ctx context.Context, procs int) (_ *FigureResult, err err
 // APLFigure regenerates one of Figures 5-8: the four applications on one
 // platform across the tool set and processor sweep.
 func (h *Harness) APLFigure(ctx context.Context, figID string, scale float64) (_ *FigureResult, _ []core.AppMeasurement, err error) {
-	h.phaseStart(figID)
-	defer h.phaseDone(figID, &err)
+	h.phaseStart(ctx, figID)
+	defer h.phaseDone(ctx, figID, &err)
 	var spec *struct {
 		Figure   string
 		Platform string
@@ -405,8 +405,8 @@ func (h *Harness) tplSteps(ctx context.Context, procs int, t3 **Table3Result, fi
 // Figures 2-4 fan out through one Map (each internally fanning out its
 // own cells), then fold through Table4FromMeasurements.
 func (h *Harness) Table4(ctx context.Context, procs int) (_ []core.PrimitiveRanking, err error) {
-	h.phaseStart(ExpTable4)
-	defer h.phaseDone(ExpTable4, &err)
+	h.phaseStart(ctx, ExpTable4)
+	defer h.phaseDone(ctx, ExpTable4, &err)
 	var (
 		t3               *Table3Result
 		fig2, fig3, fig4 *FigureResult

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -31,10 +32,12 @@ type Harness struct {
 // — Table4 reports its own phase and the Table 3 / Figure 2-4 phases it
 // regenerates inside. Callbacks run on whichever goroutine drives the
 // regeneration and must be safe for concurrent use; nil fields are
-// skipped.
+// skipped. ctx is the context of the regeneration call, so
+// request-scoped carriers survive into the callback; hooks must not
+// retain it.
 type Hooks struct {
-	PhaseStart func(id string)
-	PhaseDone  func(id string, err error)
+	PhaseStart func(ctx context.Context, id string)
+	PhaseDone  func(ctx context.Context, id string, err error)
 }
 
 // NewHarness returns a Harness scheduling through x and resolving tool
@@ -63,17 +66,17 @@ func (h *Harness) SetHooks(hooks Hooks) { h.hooks = hooks }
 func (h *Harness) Executor() runner.Executor { return h.x }
 
 // phaseStart reports a table/figure regeneration beginning.
-func (h *Harness) phaseStart(id string) {
+func (h *Harness) phaseStart(ctx context.Context, id string) {
 	if h.hooks.PhaseStart != nil {
-		h.hooks.PhaseStart(id)
+		h.hooks.PhaseStart(ctx, id)
 	}
 }
 
 // phaseDone reports a regeneration finishing; defer it with a pointer
 // to the method's named error so the outcome travels with the event.
-func (h *Harness) phaseDone(id string, errp *error) {
+func (h *Harness) phaseDone(ctx context.Context, id string, errp *error) {
 	if h.hooks.PhaseDone != nil {
-		h.hooks.PhaseDone(id, *errp)
+		h.hooks.PhaseDone(ctx, id, *errp)
 	}
 }
 

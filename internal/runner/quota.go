@@ -118,10 +118,10 @@ func (q *quotaExecutor) admit(ctx context.Context) (release func(), err error) {
 // the cell. Detection is errors.As, not a bare type assertion: a
 // wrapping layer (the remote executor will wrap errors with transport
 // context) must not silently drop the observer callback.
-func (q *quotaExecutor) notifyRefusal(key Key, err error) {
+func (q *quotaExecutor) notifyRefusal(ctx context.Context, key Key, err error) {
 	var qe *QuotaError
 	if errors.As(err, &qe) && q.observe != nil {
-		q.observe(key, false, err)
+		q.observe(ctx, key, false, err)
 	}
 }
 
@@ -145,7 +145,7 @@ func (q *quotaExecutor) Memo(ctx context.Context, key Key, compute func() (CellR
 	if err != nil {
 		// The refusal resolved this cell (to an error) without touching
 		// the cache; report it to the observer like any other outcome.
-		q.notifyRefusal(key, err)
+		q.notifyRefusal(ctx, key, err)
 		return 0, err
 	}
 	defer release()

@@ -234,7 +234,7 @@ func TestQuotaRefusalsReachObserver(t *testing.T) {
 	var mu sync.Mutex
 	var refused []Key
 	x := NewQuota(New(1), Limits{MaxCells: 1})
-	x.Observe(func(key Key, cached bool, err error) {
+	x.Observe(func(_ context.Context, key Key, cached bool, err error) {
 		if errors.Is(err, ErrQuotaExceeded) {
 			mu.Lock()
 			refused = append(refused, key)
@@ -269,7 +269,7 @@ func TestQuotaWrappedRefusalReachesObserver(t *testing.T) {
 	q := &quotaExecutor{}
 	var seen []Key
 	var seenErr error
-	q.observe = func(key Key, cached bool, err error) {
+	q.observe = func(_ context.Context, key Key, cached bool, err error) {
 		seen = append(seen, key)
 		seenErr = err
 		if cached {
@@ -278,7 +278,7 @@ func TestQuotaWrappedRefusalReachesObserver(t *testing.T) {
 	}
 	key := Key{Bench: "wrapped"}
 	wrapped := fmt.Errorf("remote executor: %w", &QuotaError{Resource: "cells", Used: 3, Limit: 3})
-	q.notifyRefusal(key, wrapped)
+	q.notifyRefusal(context.Background(), key, wrapped)
 	if len(seen) != 1 || seen[0] != key {
 		t.Fatalf("observer saw %v, want exactly %v", seen, key)
 	}
@@ -286,7 +286,7 @@ func TestQuotaWrappedRefusalReachesObserver(t *testing.T) {
 		t.Fatalf("observer error = %v, want the wrapped refusal passed through", seenErr)
 	}
 	// Context errors did not resolve the cell and must stay silent.
-	q.notifyRefusal(Key{Bench: "ctx"}, context.Canceled)
+	q.notifyRefusal(context.Background(), Key{Bench: "ctx"}, context.Canceled)
 	if len(seen) != 1 {
 		t.Fatalf("context error reached the observer: %v", seen)
 	}

@@ -100,7 +100,12 @@ type Stats struct {
 // whether the cell was served from the cache (or coalesced onto an
 // in-flight computation) rather than simulated by this call. Observers
 // run on the calling goroutine and must be safe for concurrent use.
-type Observer func(key Key, cached bool, err error)
+//
+// ctx is the context of the Memo call being resolved — request-scoped
+// carriers (a server routing one batch's events to one client stream)
+// ride it through the executor, which otherwise has no per-call state.
+// Observers must not retain ctx past the callback.
+type Observer func(ctx context.Context, key Key, cached bool, err error)
 
 // Executor is the execution-backend seam: the scheduler contract the
 // session layer and the bench harness program against. Runner is the
@@ -229,9 +234,9 @@ func (r *Runner) Stats() Stats { return r.cache.Stats() }
 // form of WithObserver). Call it before submitting cells.
 func (r *Runner) Observe(fn Observer) { r.observe = fn }
 
-func (r *Runner) notify(key Key, cached bool, err error) {
+func (r *Runner) notify(ctx context.Context, key Key, cached bool, err error) {
 	if r.observe != nil {
-		r.observe(key, cached, err)
+		r.observe(ctx, key, cached, err)
 	}
 }
 
@@ -277,7 +282,7 @@ func (r *Runner) memoOn(ctx context.Context, key Key, st *stripe, compute func()
 			return 0, ctx.Err()
 		}
 		c.hits.Add(1)
-		r.notify(key, true, e.err)
+		r.notify(ctx, key, true, e.err)
 		return e.val, e.err
 	}
 	if err := ctx.Err(); err != nil {
@@ -318,7 +323,7 @@ func (r *Runner) memoOn(ctx context.Context, key Key, st *stripe, compute func()
 			c.hits.Add(1)
 			<-r.sem
 			close(e.done)
-			r.notify(key, true, nil)
+			r.notify(ctx, key, true, nil)
 			return e.val, nil
 		}
 	}
@@ -336,7 +341,7 @@ func (r *Runner) memoOn(ctx context.Context, key Key, st *stripe, compute func()
 			e.err = fmt.Errorf("runner: cell %s panicked: %v", key, p)
 			<-r.sem
 			close(e.done)
-			r.notify(key, false, e.err)
+			r.notify(ctx, key, false, e.err)
 			panic(p)
 		}
 		switch {
@@ -357,7 +362,7 @@ func (r *Runner) memoOn(ctx context.Context, key Key, st *stripe, compute func()
 		}
 		<-r.sem
 		close(e.done)
-		r.notify(key, false, e.err)
+		r.notify(ctx, key, false, e.err)
 	}()
 	res, e.err = compute()
 	e.val = res.Value

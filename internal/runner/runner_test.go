@@ -204,7 +204,7 @@ func TestObserverSeesHitsAndMisses(t *testing.T) {
 	}
 	var mu sync.Mutex
 	var events []event
-	r := New(1, WithObserver(func(key Key, cached bool, err error) {
+	r := New(1, WithObserver(func(_ context.Context, key Key, cached bool, err error) {
 		mu.Lock()
 		defer mu.Unlock()
 		events = append(events, event{key, cached})

@@ -212,7 +212,7 @@ func TestShardedObserverSeesEveryCell(t *testing.T) {
 	s := NewSharded(4, 1)
 	var mu sync.Mutex
 	seen := map[Key]int{}
-	s.Observe(func(key Key, cached bool, err error) {
+	s.Observe(func(_ context.Context, key Key, cached bool, err error) {
 		mu.Lock()
 		seen[key]++
 		mu.Unlock()

@@ -50,7 +50,7 @@ func TestTierHitSkipsComputeAndCountsAsHit(t *testing.T) {
 	c.SetTier(tier)
 	r := New(2, WithCache(c))
 	var observed []bool
-	r.Observe(func(_ Key, cached bool, err error) {
+	r.Observe(func(_ context.Context, _ Key, cached bool, err error) {
 		observed = append(observed, cached)
 		if err != nil {
 			t.Errorf("observer error = %v", err)

@@ -1,0 +1,331 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"tooleval"
+)
+
+// maxRequestBody bounds POST bodies; a batch of specs is small, and an
+// unbounded decode is a free memory DoS.
+const maxRequestBody = 1 << 20
+
+// tenantID resolves the requesting tenant: the X-Tenant header, or the
+// ?tenant= query parameter (EventSource clients cannot set headers),
+// defaulting to "default".
+func tenantID(r *http.Request) (string, error) {
+	id := r.Header.Get("X-Tenant")
+	if id == "" {
+		id = r.URL.Query().Get("tenant")
+	}
+	if id == "" {
+		id = "default"
+	}
+	if !ValidTenantID(id) {
+		return "", fmt.Errorf("server: invalid tenant id %q", id)
+	}
+	return id, nil
+}
+
+// writeError emits the errorWire envelope; quota refusals carry their
+// typed breakdown so clients need not parse message strings.
+func writeError(w http.ResponseWriter, code int, err error) {
+	ew := errorWire{Error: err.Error()}
+	var qe *tooleval.QuotaError
+	if errors.As(err, &qe) {
+		ew.Quota = &quotaWire{Resource: qe.Resource, Used: qe.Used, Limit: qe.Limit}
+	}
+	writeJSON(w, code, ew)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// handleSubmit admits a batch: POST /v1/jobs. With "Accept:
+// text/event-stream" the response is the live SSE feed of the sweep
+// (job, spec_start, cell, phase_start, phase_done, spec_done, job_done
+// events); otherwise the handler blocks until the batch finishes and
+// responds with the report JSON directly. Either way the job is
+// registered and its status/report remain fetchable afterwards.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, errors.New("server: draining, not accepting jobs"))
+		return
+	}
+	id, err := tenantID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var req jobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("server: decoding job request: %w", err))
+		return
+	}
+	if len(req.Specs) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("server: job has no specs"))
+		return
+	}
+	if len(req.Specs) > s.cfg.MaxSpecsPerJob {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("server: %d specs exceeds per-job limit %d", len(req.Specs), s.cfg.MaxSpecsPerJob))
+		return
+	}
+	tn, err := s.tenants.get(id)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	if err := tn.acquireJob(); err != nil {
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	}
+	defer tn.releaseJob()
+	s.activeJobs.Add(1)
+	defer s.activeJobs.Done()
+
+	specs := make([]tooleval.ExperimentSpec, len(req.Specs))
+	for i, sw := range req.Specs {
+		specs[i] = sw.spec()
+	}
+	j := s.jobs.create(id, specs)
+
+	// The job's context dies with the client connection (disconnect
+	// mid-stream cancels the sweep) or with the drain deadline.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stopAfter := context.AfterFunc(s.hardCtx, cancel)
+	defer stopAfter()
+
+	var stream *sseStream
+	if wantsSSE(r) {
+		st, err := newSSE(w)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		stream = st
+		stream.send("job", j.status())
+	}
+
+	// The per-job sink: every event in this batch's call tree folds
+	// into the job counters, the tenant counters, and (when streaming)
+	// the client's SSE feed. Runs on the session's worker goroutines.
+	ctx = tooleval.EventContext(ctx, func(ev tooleval.Event) {
+		j.observe(ev)
+		switch e := ev.(type) {
+		case tooleval.CellEvent:
+			tn.cells.Add(1)
+			if e.Cached {
+				tn.cellsCached.Add(1)
+			}
+		case tooleval.SpecDone:
+			tn.specsDone.Add(1)
+			if e.Err != nil {
+				tn.specsFailed.Add(1)
+			}
+		}
+		if stream != nil {
+			if name, data, ok := eventWire(ev); ok {
+				stream.send(name, data)
+			}
+		}
+	})
+
+	results, errs := tn.sess.SubmitAll(ctx, specs)
+	j.complete(results, errs, ctx.Err() != nil)
+
+	if stream != nil {
+		stream.send("job_done", j.status())
+		return
+	}
+
+	// Blocking JSON path: the report is the response body. A quota
+	// refusal anywhere in the batch makes the whole response a 429 —
+	// the batch exceeded the tenant's tier — while ordinary spec
+	// failures stay 200 with per-spec error strings.
+	report, reportErr := j.reportBytes()
+	if reportErr != nil {
+		writeError(w, http.StatusInternalServerError, reportErr)
+		return
+	}
+	code := http.StatusOK
+	for _, err := range errs {
+		var qe *tooleval.QuotaError
+		if errors.As(err, &qe) {
+			code = http.StatusTooManyRequests
+			break
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(report)
+}
+
+func wantsSSE(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+}
+
+// handleJobStatus serves GET /v1/jobs/{id}: live progress counters.
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// handleJobReport serves GET /v1/jobs/{id}/report: the finished batch
+// report (409 while the job still runs). ?spec=N narrows to one spec's
+// entry.
+func (s *Server) handleJobReport(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	report, err := j.reportBytes()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if report == nil {
+		writeError(w, http.StatusConflict, fmt.Errorf("server: job %s still running", j.id))
+		return
+	}
+	if specArg := r.URL.Query().Get("spec"); specArg != "" {
+		n, err := strconv.Atoi(specArg)
+		if err != nil || n < 0 || n >= len(j.specs) {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("server: job %s has no spec %q", j.id, specArg))
+			return
+		}
+		var full reportWire
+		if err := json.Unmarshal(report, &full); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, full.Specs[n])
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(report)
+}
+
+// lookupJob resolves {id} under the requesting tenant's namespace,
+// writing the error response itself on failure.
+func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) (*job, bool) {
+	tenant, err := tenantID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return nil, false
+	}
+	id := r.PathValue("id")
+	j, ok := s.jobs.get(tenant, id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("server: no job %q", id))
+		return nil, false
+	}
+	return j, true
+}
+
+// healthWire is the GET /healthz body.
+type healthWire struct {
+	Status     string `json:"status"` // "ok" | "degraded" | "draining"
+	StoreError string `json:"store_error,omitempty"`
+}
+
+// healthFor maps server state to the health response. Draining is a
+// 503 so load balancers stop routing here; a degraded durable store
+// (persistence halted mid-run, evaluation still correct from the
+// in-memory tier) stays 200 but flips status so operators notice.
+func healthFor(draining bool, storeErr error) (int, healthWire) {
+	if draining {
+		return http.StatusServiceUnavailable, healthWire{Status: "draining"}
+	}
+	if storeErr != nil {
+		return http.StatusOK, healthWire{Status: "degraded", StoreError: storeErr.Error()}
+	}
+	return http.StatusOK, healthWire{Status: "ok"}
+}
+
+// handleHealthz reports liveness; see healthFor for the state mapping.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	var storeErr error
+	if s.store != nil {
+		storeErr = s.store.Err()
+	}
+	code, h := healthFor(s.draining.Load(), storeErr)
+	writeJSON(w, code, h)
+}
+
+// statszWire is the GET /statsz body.
+type statszWire struct {
+	Draining bool                       `json:"draining"`
+	Cache    cacheStatsWire             `json:"cache"`
+	Store    *storeStatsWire            `json:"store,omitempty"`
+	Tenants  map[string]tenantStatsWire `json:"tenants"`
+}
+
+type cacheStatsWire struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	Cells  int   `json:"cells"`
+}
+
+type storeStatsWire struct {
+	Cells int    `json:"cells"`
+	Error string `json:"error,omitempty"`
+}
+
+type tenantStatsWire struct {
+	Tier        string `json:"tier"`
+	JobsActive  int64  `json:"jobs_active"`
+	JobsStarted int64  `json:"jobs_started"`
+	JobsDone    int64  `json:"jobs_done"`
+	JobsRefused int64  `json:"jobs_refused"`
+	SpecsDone   int64  `json:"specs_done"`
+	SpecsFailed int64  `json:"specs_failed"`
+	Cells       int64  `json:"cells"`
+	CellsCached int64  `json:"cells_cached"`
+}
+
+// handleStatsz serves operational counters: the shared cache, the
+// durable store, and every tenant's admission and sweep totals.
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	cs := s.cache.Stats()
+	out := statszWire{
+		Draining: s.draining.Load(),
+		Cache:    cacheStatsWire{Hits: cs.Hits, Misses: cs.Misses, Cells: s.cache.Len()},
+		Tenants:  make(map[string]tenantStatsWire),
+	}
+	if s.store != nil {
+		out.Store = &storeStatsWire{Cells: s.store.Len(), Error: errString(s.store.Err())}
+	}
+	for _, t := range s.tenants.snapshot() {
+		out.Tenants[t.id] = tenantStatsWire{
+			Tier:        t.tier.Name,
+			JobsActive:  t.jobsActive.Load(),
+			JobsStarted: t.jobsStarted.Load(),
+			JobsDone:    t.jobsDone.Load(),
+			JobsRefused: t.jobsRefused.Load(),
+			SpecsDone:   t.specsDone.Load(),
+			SpecsFailed: t.specsFailed.Load(),
+			Cells:       t.cells.Load(),
+			CellsCached: t.cellsCached.Load(),
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,160 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+
+	"tooleval"
+)
+
+// Job lifecycle states as reported by GET /v1/jobs/{id}.
+const (
+	jobRunning   = "running"
+	jobDone      = "done"      // every spec resolved; report available
+	jobCancelled = "cancelled" // client disconnect or drain deadline aborted it
+)
+
+// job is one submitted batch: its specs, live event counters, and —
+// once finished — its outcome and marshalled report.
+type job struct {
+	id     string
+	tenant string
+	specs  []tooleval.ExperimentSpec
+
+	mu         sync.Mutex
+	state      string
+	specStarts int
+	specDones  int
+	cellEvents int
+	failed     int
+	report     []byte
+	reportErr  error
+}
+
+// observe folds one session event into the job's counters. It is the
+// job's EventContext sink body; the SSE encoder runs separately.
+func (j *job) observe(ev tooleval.Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch e := ev.(type) {
+	case tooleval.SpecStart:
+		j.specStarts++
+	case tooleval.SpecDone:
+		j.specDones++
+		if e.Err != nil {
+			j.failed++
+		}
+	case tooleval.CellEvent:
+		j.cellEvents++
+	}
+}
+
+// complete records the batch outcome and renders the report.
+// cancelled marks a batch whose context died before the sweep
+// finished; its report still renders (ctx errors ride the per-spec
+// error strings) but the state tells clients not to trust it as the
+// sweep's result.
+func (j *job) complete(results []tooleval.Result, errs []error, cancelled bool) {
+	report, reportErr := MarshalBatchReport(results, errs)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.report, j.reportErr = report, reportErr
+	if cancelled {
+		j.state = jobCancelled
+	} else {
+		j.state = jobDone
+	}
+}
+
+// reportBytes returns the rendered report — nil while the job still
+// runs — and any render error.
+func (j *job) reportBytes() ([]byte, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.report, j.reportErr
+}
+
+// jobStatusWire is the GET /v1/jobs/{id} body.
+type jobStatusWire struct {
+	Job        string `json:"job"`
+	Tenant     string `json:"tenant"`
+	State      string `json:"state"`
+	Specs      int    `json:"specs"`
+	SpecStarts int    `json:"spec_starts"`
+	SpecDones  int    `json:"spec_dones"`
+	Cells      int    `json:"cells"`
+	Failed     int    `json:"failed"`
+}
+
+func (j *job) status() jobStatusWire {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return jobStatusWire{
+		Job:        j.id,
+		Tenant:     j.tenant,
+		State:      j.state,
+		Specs:      len(j.specs),
+		SpecStarts: j.specStarts,
+		SpecDones:  j.specDones,
+		Cells:      j.cellEvents,
+		Failed:     j.failed,
+	}
+}
+
+// jobStore indexes jobs by id and bounds per-tenant retention: every
+// tenant keeps at most retain finished jobs (oldest evicted first), so
+// a long-lived daemon's memory does not grow with its request count.
+// Running jobs are never evicted.
+type jobStore struct {
+	mu       sync.Mutex
+	jobs     map[string]*job
+	byTenant map[string][]*job // insertion order, for eviction
+	retain   int
+	seq      int64
+}
+
+func newJobStore(retain int) *jobStore {
+	return &jobStore{jobs: make(map[string]*job), byTenant: make(map[string][]*job), retain: retain}
+}
+
+// create registers a new running job for tenant and evicts that
+// tenant's stale finished jobs beyond the retention bound.
+func (s *jobStore) create(tenant string, specs []tooleval.ExperimentSpec) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	j := &job{id: fmt.Sprintf("j-%06d", s.seq), tenant: tenant, specs: specs, state: jobRunning}
+	s.jobs[j.id] = j
+	list := append(s.byTenant[tenant], j)
+	// Evict oldest finished jobs past the bound (finished only: a
+	// running job's handler still holds it).
+	kept := list[:0]
+	over := len(list) - s.retain
+	for _, old := range list {
+		if over > 0 && old != j {
+			old.mu.Lock()
+			finished := old.state != jobRunning
+			old.mu.Unlock()
+			if finished {
+				delete(s.jobs, old.id)
+				over--
+				continue
+			}
+		}
+		kept = append(kept, old)
+	}
+	s.byTenant[tenant] = kept
+	return j
+}
+
+// get looks a job up for the given tenant; jobs are namespaced by
+// tenant, so another tenant's id behaves as not-found.
+func (s *jobStore) get(tenant, id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok || j.tenant != tenant {
+		return nil, false
+	}
+	return j, true
+}

@@ -1,0 +1,62 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// sseStream serializes server-sent events onto one HTTP response.
+// Session events arrive from concurrent worker goroutines, so every
+// send locks; each event is flushed immediately (a stream that batches
+// is not a stream). A write error — the client went away — latches the
+// stream closed and later sends are dropped: the job's fate is decided
+// by its context (cancelled via the request), not by write failures.
+//
+// Backpressure is deliberate: a slow consumer blocks the goroutine
+// delivering its event, which is one of its own job's workers — a
+// tenant reading slowly slows only its own sweep, never another
+// tenant's (coalesced waiters on a shared cell are woken before the
+// owner's sink runs).
+type sseStream struct {
+	mu  sync.Mutex
+	w   http.ResponseWriter
+	f   http.Flusher
+	err error
+}
+
+// newSSE prepares w for event streaming and writes the SSE headers.
+func newSSE(w http.ResponseWriter) (*sseStream, error) {
+	f, ok := w.(http.Flusher)
+	if !ok {
+		return nil, fmt.Errorf("server: response writer cannot stream (no http.Flusher)")
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-store")
+	h.Set("X-Accel-Buffering", "no") // common reverse proxies buffer otherwise
+	w.WriteHeader(http.StatusOK)
+	f.Flush()
+	return &sseStream{w: w, f: f}, nil
+}
+
+// send emits one "event:"/"data:" frame with data as JSON and flushes.
+func (s *sseStream) send(event string, data any) {
+	blob, err := json.Marshal(data)
+	if err != nil {
+		// Wire structs are marshal-safe by construction; a failure here
+		// is a programming error worth surfacing loudly in tests.
+		panic(fmt.Sprintf("server: marshalling %s event: %v", event, err))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	if _, err := fmt.Fprintf(s.w, "event: %s\ndata: %s\n\n", event, blob); err != nil {
+		s.err = err
+		return
+	}
+	s.f.Flush()
+}

@@ -1,0 +1,123 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"tooleval"
+)
+
+// tenant is one isolated evaluation principal: its own Session (own
+// executor, budgets, stats) over the server's shared cache, plus the
+// admission state and counters the handlers maintain.
+type tenant struct {
+	id   string
+	tier QuotaTier
+	sess *tooleval.Session
+
+	// jobSlots is the concurrent-job gate (nil = unlimited): acquire
+	// is non-blocking, because the tier's job limit is a refusal
+	// surface (429), not a queue.
+	jobSlots chan struct{}
+
+	jobsActive  atomic.Int64
+	jobsStarted atomic.Int64
+	jobsDone    atomic.Int64
+	jobsRefused atomic.Int64
+	specsDone   atomic.Int64
+	specsFailed atomic.Int64
+	cells       atomic.Int64 // cell completions observed by this tenant's jobs
+	cellsCached atomic.Int64 // ... of which served from cache or store
+}
+
+// acquireJob takes a job slot, or refuses with a typed quota error —
+// the same *tooleval.QuotaError shape session budgets raise, so one
+// errors.As covers every 429 the server produces.
+func (t *tenant) acquireJob() error {
+	if t.jobSlots != nil {
+		select {
+		case t.jobSlots <- struct{}{}:
+		default:
+			t.jobsRefused.Add(1)
+			limit := int64(t.tier.MaxConcurrentJobs)
+			return fmt.Errorf("tenant %q: concurrent-job limit reached: %w", t.id,
+				&tooleval.QuotaError{Resource: "concurrent jobs", Used: limit, Limit: limit})
+		}
+	}
+	t.jobsActive.Add(1)
+	t.jobsStarted.Add(1)
+	return nil
+}
+
+func (t *tenant) releaseJob() {
+	t.jobsActive.Add(-1)
+	t.jobsDone.Add(1)
+	if t.jobSlots != nil {
+		<-t.jobSlots
+	}
+}
+
+// registry owns the tenant set: tenants materialize on first request
+// and live until the server drains. All sessions share srvCache.
+type registry struct {
+	mu      sync.Mutex
+	tenants map[string]*tenant
+	build   func(id string) *tenant
+	closed  bool
+}
+
+func newRegistry(build func(id string) *tenant) *registry {
+	return &registry{tenants: make(map[string]*tenant), build: build}
+}
+
+// get returns the tenant for id, creating it on first use. After the
+// registry is closed (drain completed) no new tenants are admitted.
+func (r *registry) get(id string) (*tenant, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, fmt.Errorf("server: draining, not admitting tenants")
+	}
+	t, ok := r.tenants[id]
+	if !ok {
+		t = r.build(id)
+		r.tenants[id] = t
+	}
+	return t, nil
+}
+
+// snapshot returns the tenants sorted by id (for deterministic
+// /statsz rendering).
+func (r *registry) snapshot() []*tenant {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*tenant, 0, len(r.tenants))
+	for _, t := range r.tenants {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// closeAll closes every tenant session exactly once and stops
+// admitting new tenants. Safe to call repeatedly (drain retries,
+// server Close after Run): Session.Close is idempotent and the closed
+// flag makes the sweep itself one-shot per tenant set.
+func (r *registry) closeAll() error {
+	r.mu.Lock()
+	r.closed = true
+	tenants := make([]*tenant, 0, len(r.tenants))
+	for _, t := range r.tenants {
+		tenants = append(tenants, t)
+	}
+	r.mu.Unlock()
+	var first error
+	for _, t := range tenants {
+		if err := t.sess.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

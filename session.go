@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sync"
 
 	"tooleval/internal/bench"
 	"tooleval/internal/core"
@@ -74,6 +75,8 @@ type Session struct {
 	parallelism int
 	sinks       []func(Event)
 	store       *store.Store // owned durable tier (WithResultStore), nil otherwise
+	closeOnce   sync.Once
+	closeErr    error
 }
 
 type sessionConfig struct {
@@ -219,15 +222,17 @@ func NewSession(opts ...Option) *Session {
 		sinks:       cfg.sinks,
 		store:       durable,
 	}
-	if len(s.sinks) > 0 {
-		x.Observe(func(key runner.Key, cached bool, err error) {
-			s.emit(CellEvent{Cell: key, Cached: cached, Err: err})
-		})
-		s.h.SetHooks(bench.Hooks{
-			PhaseStart: func(id string) { s.emit(PhaseStart{Phase: id}) },
-			PhaseDone:  func(id string, err error) { s.emit(PhaseDone{Phase: id, Err: err}) },
-		})
-	}
+	// The observer and hooks are always installed: even with no
+	// WithEvents sinks, a caller may attach a per-batch sink to a
+	// context with [EventContext], and those events ride the ctx the
+	// work was scheduled under. emit is a no-op when neither exists.
+	x.Observe(func(ctx context.Context, key runner.Key, cached bool, err error) {
+		s.emit(ctx, CellEvent{Cell: key, Cached: cached, Err: err})
+	})
+	s.h.SetHooks(bench.Hooks{
+		PhaseStart: func(ctx context.Context, id string) { s.emit(ctx, PhaseStart{Phase: id}) },
+		PhaseDone:  func(ctx context.Context, id string, err error) { s.emit(ctx, PhaseDone{Phase: id, Err: err}) },
+	})
 	return s
 }
 
@@ -259,9 +264,13 @@ func shardWorkers(total, shards int) int {
 	return per
 }
 
-// emit fans an event out to every sink.
-func (s *Session) emit(ev Event) {
+// emit fans an event out to every session sink, plus the per-batch
+// sink riding ctx (see [EventContext]), if any.
+func (s *Session) emit(ctx context.Context, ev Event) {
 	for _, fn := range s.sinks {
+		fn(ev)
+	}
+	if fn := sinkFrom(ctx); fn != nil {
 		fn(ev)
 	}
 }
@@ -276,11 +285,31 @@ func (s *Session) Parallelism() int { return s.parallelism }
 // persisted; results were still correct). Sessions without a store
 // return nil. The session remains usable for evaluation after Close —
 // it just stops persisting new cells.
+//
+// Close is idempotent and safe for concurrent callers: the store is
+// closed exactly once, and every call — first, repeated, or racing —
+// returns that close's error. A server evicting a tenant while a
+// drain sweep closes every session must not double-close the store.
 func (s *Session) Close() error {
 	if s.store == nil {
 		return nil
 	}
-	return s.store.Close()
+	s.closeOnce.Do(func() { s.closeErr = s.store.Close() })
+	return s.closeErr
+}
+
+// Err reports the first write error the session's durable result store
+// has latched, without closing anything — nil when the store is
+// healthy or the session has none. A non-nil Err means the store went
+// lookup-only mid-run: results are still correct, but cells simulated
+// since the error are not being persisted. Long-running servers poll
+// it to report a degraded store (e.g. a /healthz endpoint) instead of
+// discovering the error only at [Session.Close].
+func (s *Session) Err() error {
+	if s.store == nil {
+		return nil
+	}
+	return s.store.Err()
 }
 
 // ResultStore returns the durable tier opened by [WithResultStore],

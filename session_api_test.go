@@ -184,7 +184,7 @@ func (e *fakeExecutor) Memo(ctx context.Context, key tooleval.Cell, compute func
 	if v, ok := e.done[key]; ok {
 		e.hits++
 		if e.observe != nil {
-			e.observe(key, true, nil)
+			e.observe(ctx, key, true, nil)
 		}
 		return v, nil
 	}
@@ -195,7 +195,7 @@ func (e *fakeExecutor) Memo(ctx context.Context, key tooleval.Cell, compute func
 	e.done[key] = res.Value
 	e.misses++
 	if e.observe != nil {
-		e.observe(key, false, nil)
+		e.observe(ctx, key, false, nil)
 	}
 	return res.Value, nil
 }

@@ -62,9 +62,9 @@ func (s *Session) Stream(ctx context.Context, specs []ExperimentSpec) iter.Seq2[
 				// pair, whatever its fate — invalid and cancelled specs
 				// included — so event sinks counting lifecycle pairs
 				// against the batch never miscount.
-				s.emit(SpecStart{Index: i, Spec: spec})
+				s.emit(ictx, SpecStart{Index: i, Spec: spec})
 				finish := func(res Result, err error) {
-					s.emit(SpecDone{Index: i, Spec: spec, Err: err})
+					s.emit(ictx, SpecDone{Index: i, Spec: spec, Err: err})
 					slots[i] <- outcome{res, err}
 				}
 				if err := spec.validate(); err != nil {
