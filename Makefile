@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet examples toolbenchd-smoke bench-smoke bench-baseline
+.PHONY: build test vet examples toolbenchd-smoke chaos bench-smoke bench-baseline
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,14 @@ toolbenchd-smoke:
 	$(GO) build -o /tmp/toolbenchd ./cmd/toolbenchd
 	$(GO) test -race ./internal/server
 	$(GO) test -race -short -run TestLoadManyConcurrentTenants -v ./internal/server
+
+# chaos is the local mirror of CI's chaos job: the seeded
+# fault-injection suite under the race detector, once with the pinned
+# -short seed and once with a fresh logged seed (reproduce a failure
+# with TOOLEVAL_CHAOS_SEED=<seed> make chaos).
+chaos:
+	$(GO) test -race -short -run TestChaos ./...
+	$(GO) test -race -run TestChaos ./...
 
 # bench-smoke compiles and runs every benchmark for exactly one
 # iteration — the CI guard against benchmark bit-rot — plus one

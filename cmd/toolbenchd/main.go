@@ -8,6 +8,12 @@
 // admitting jobs, finishes in-flight sweeps (bounded by
 // -drain-timeout), flushes the durable store, and exits 0. A second
 // signal exits immediately.
+//
+// SIGHUP hot-reloads the quota-tier catalog from -tier-file without
+// dropping in-flight jobs: the file is re-read, validated whole (a bad
+// file is rejected, keeping the live config), and existing tenants
+// move to their new tiers as they go idle. Without -tier-file, SIGHUP
+// is a logged no-op.
 package main
 
 import (
@@ -64,6 +70,7 @@ func run(args []string) error {
 			cfg.TenantTiers[tenant] = tier
 			return nil
 		})
+	tierFile := fs.String("tier-file", "", "tier catalog `file` (tier/tenant-tier/default-tier directives); re-read on SIGHUP")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: toolbenchd [flags]\n\n")
 		fmt.Fprintf(fs.Output(), "Serve the evaluation methodology as a multi-tenant HTTP daemon.\n\n")
@@ -74,6 +81,14 @@ func run(args []string) error {
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	if *tierFile != "" {
+		tiers, def, tenants, err := loadTierFile(*tierFile)
+		if err != nil {
+			return err
+		}
+		mergeTierCatalog(&cfg, tiers, def, tenants)
 	}
 
 	srv, err := server.New(cfg)
@@ -90,5 +105,74 @@ func run(args []string) error {
 		stop()
 	}()
 
+	// SIGHUP: re-read the tier file and swap the catalog in place.
+	// In-flight jobs keep their tiers; a rejected file changes nothing.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for {
+			select {
+			case <-hup:
+			case <-ctx.Done():
+				return
+			}
+			if *tierFile == "" {
+				log.Printf("toolbenchd: SIGHUP ignored (no -tier-file to reload)")
+				continue
+			}
+			tiers, def, tenants, err := loadTierFile(*tierFile)
+			if err != nil {
+				log.Printf("toolbenchd: SIGHUP reload rejected: %v", err)
+				continue
+			}
+			reloaded := cfg // copy of the flag-derived baseline
+			mergeTierCatalog(&reloaded, tiers, def, tenants)
+			if err := srv.ReloadTiers(reloaded.Tiers, reloaded.DefaultTier, reloaded.TenantTiers); err != nil {
+				log.Printf("toolbenchd: SIGHUP reload rejected: %v", err)
+			}
+		}
+	}()
+
 	return srv.ListenAndServe(ctx)
+}
+
+// loadTierFile reads and parses one tier-catalog file.
+func loadTierFile(path string) (map[string]server.QuotaTier, string, map[string]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", nil, fmt.Errorf("tier file: %w", err)
+	}
+	defer f.Close()
+	tiers, def, tenants, err := server.ParseTierConfig(f)
+	if err != nil {
+		return nil, "", nil, fmt.Errorf("tier file %s: %w", path, err)
+	}
+	return tiers, def, tenants, nil
+}
+
+// mergeTierCatalog overlays a tier file onto the flag-derived config:
+// file entries win per key, and a default-tier directive overrides the
+// flag. The merged maps are fresh — cfg's originals are not mutated, so
+// the flag baseline survives for the next SIGHUP to merge onto.
+func mergeTierCatalog(cfg *server.Config, tiers map[string]server.QuotaTier, def string, tenants map[string]string) {
+	merged := make(map[string]server.QuotaTier, len(cfg.Tiers)+len(tiers))
+	for k, v := range cfg.Tiers {
+		merged[k] = v
+	}
+	for k, v := range tiers {
+		merged[k] = v
+	}
+	cfg.Tiers = merged
+	mergedTenants := make(map[string]string, len(cfg.TenantTiers)+len(tenants))
+	for k, v := range cfg.TenantTiers {
+		mergedTenants[k] = v
+	}
+	for k, v := range tenants {
+		mergedTenants[k] = v
+	}
+	cfg.TenantTiers = mergedTenants
+	if def != "" {
+		cfg.DefaultTier = def
+	}
 }

@@ -1,6 +1,8 @@
 // toolbenchd-client is a minimal Go client for the toolbenchd HTTP
 // API: submit an ExperimentSpec batch, consume the server-sent event
-// stream while the sweep runs, and fetch the final JSON report.
+// stream while the sweep runs, fetch the final JSON report, and — when
+// the server answers 429 with a Retry-After hint — back off with
+// jittered exponential delays instead of hammering the quota.
 //
 // To stay runnable standalone (make examples runs every example to
 // completion), it hosts its own toolbenchd in-process on a loopback
@@ -16,12 +18,58 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"tooleval/internal/server"
 )
+
+// submitWithRetry posts a batch, honoring 429 refusals: the wait is the
+// server's Retry-After hint or the local exponential backoff, whichever
+// is longer, with full jitter on top so a burst of refused clients
+// spreads out instead of re-colliding on the same slot. Any other
+// status returns to the caller as-is.
+func submitWithRetry(ctx context.Context, base, tenant, body string) (*http.Response, error) {
+	backoff := 250 * time.Millisecond
+	const maxBackoff = 4 * time.Second
+	for attempt := 1; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, "POST", base+"/v1/jobs", strings.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("X-Tenant", tenant)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusTooManyRequests {
+			return resp, nil
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		wait := backoff
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && time.Duration(secs)*time.Second > wait {
+				wait = time.Duration(secs) * time.Second
+			}
+		}
+		wait = wait/2 + time.Duration(rand.Int63n(int64(wait))) // jitter: [wait/2, 3wait/2)
+		fmt.Printf("  429 (attempt %d, Retry-After %ss): backing off %v\n",
+			attempt, resp.Header.Get("Retry-After"), wait.Round(time.Millisecond))
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
 
 func main() {
 	ctx, cancel := context.WithCancel(context.Background())
@@ -34,9 +82,10 @@ func main() {
 		Tiers: map[string]server.QuotaTier{
 			"demo":    {Name: "demo", MaxConcurrentJobs: 4},
 			"metered": {Name: "metered", MaxCells: 2},
+			"serial":  {Name: "serial", MaxConcurrentJobs: 1},
 		},
 		DefaultTier: "demo",
-		TenantTiers: map[string]string{"budget-works": "metered"},
+		TenantTiers: map[string]string{"budget-works": "metered", "burst": "serial"},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -187,6 +236,42 @@ func main() {
 	if r3.StatusCode != http.StatusTooManyRequests {
 		log.Fatalf("expected a 429, got %s: %s", r3.Status, body3)
 	}
+
+	// A concurrent-job refusal also says when to come back: the "burst"
+	// tenant's tier admits one job at a time, so while a slow sweep
+	// holds the slot, a second submit gets 429 + Retry-After. The
+	// client's job is to honor it — submitWithRetry backs off with
+	// jittered exponential delays until the slot frees.
+	slowBody := `{"specs":[{"kind":"evaluate","scale":0.05}]}`
+	slowReq, err := http.NewRequestWithContext(ctx, "POST", base+"/v1/jobs", strings.NewReader(slowBody))
+	if err != nil {
+		log.Fatal(err)
+	}
+	slowReq.Header.Set("X-Tenant", "burst")
+	slowReq.Header.Set("Accept", "text/event-stream")
+	slowResp, err := http.DefaultClient.Do(slowReq)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if slowResp.StatusCode != http.StatusOK {
+		log.Fatalf("slow submit: %s", slowResp.Status)
+	}
+	slowDrained := make(chan struct{})
+	go func() { // drain the stream; the job releases its slot at job_done
+		defer close(slowDrained)
+		io.Copy(io.Discard, slowResp.Body)
+		slowResp.Body.Close()
+	}()
+	fmt.Println("\nburst tenant: slot held by a slow sweep, retrying a second job...")
+	r4, err := submitWithRetry(ctx, base, "burst",
+		`{"specs":[{"kind":"pingpong","platform":"sun-ethernet","tool":"p4","sizes":[0]}]}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	io.Copy(io.Discard, r4.Body)
+	r4.Body.Close()
+	fmt.Printf("burst tenant: second job admitted after backoff: %s\n", r4.Status)
+	<-slowDrained
 
 	// SIGTERM equivalent: cancel the serve context and wait for the
 	// graceful drain.

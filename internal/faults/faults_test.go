@@ -1,0 +1,157 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"tooleval/internal/runner"
+)
+
+// memFile is an in-memory File for decorator tests.
+type memFile struct {
+	buf    bytes.Buffer
+	syncs  int
+	closed bool
+}
+
+func (m *memFile) Read(p []byte) (int, error)     { return m.buf.Read(p) }
+func (m *memFile) Write(p []byte) (int, error)    { return m.buf.Write(p) }
+func (m *memFile) Seek(int64, int) (int64, error) { return 0, nil }
+func (m *memFile) Truncate(size int64) error      { m.buf.Truncate(int(size)); return nil }
+func (m *memFile) Sync() error                    { m.syncs++; return nil }
+func (m *memFile) Close() error                   { m.closed = true; return nil }
+
+// memTier is a map-backed runner.Tier.
+type memTier struct {
+	m map[runner.Key]runner.CellResult
+}
+
+func newMemTier() *memTier { return &memTier{m: make(map[runner.Key]runner.CellResult)} }
+
+func (t *memTier) Lookup(key runner.Key) (runner.CellResult, bool) {
+	res, ok := t.m[key]
+	return res, ok
+}
+func (t *memTier) Fill(key runner.Key, res runner.CellResult) { t.m[key] = res }
+
+func TestScheduleIsDeterministic(t *testing.T) {
+	plan := Plan{WriteError: 0.2, ShortWrite: 0.2, SyncError: 0.3, LookupMiss: 0.5, FillDrop: 0.5}
+	a, b := NewSchedule(42, plan), NewSchedule(42, plan)
+	ops := []Op{OpWrite, OpSync, OpLookup, OpFill, OpWrite, OpTruncate, OpWrite, OpLookup}
+	for round := 0; round < 200; round++ {
+		op := ops[round%len(ops)]
+		da, db := a.Decide(op, 64), b.Decide(op, 64)
+		if da != db {
+			t.Fatalf("round %d op %v: %+v vs %+v — same seed must give same stream", round, op, da, db)
+		}
+	}
+	if a.Injected() == 0 {
+		t.Fatal("schedule with these rates injected nothing in 200 ops")
+	}
+	if c := NewSchedule(43, plan); func() bool {
+		for i := 0; i < 50; i++ {
+			if c.Decide(OpWrite, 64) != NewSchedule(42, plan).Decide(OpWrite, 64) {
+				return true
+			}
+		}
+		return false
+	}() == false {
+		t.Log("seeds 42/43 happened to agree on 50 writes (unlikely but legal)")
+	}
+}
+
+func TestShortWriteTearsDeterministically(t *testing.T) {
+	plan := Plan{ShortWrite: 1}
+	payload := bytes.Repeat([]byte{0xAB}, 100)
+
+	run := func(seed uint64) (int, error) {
+		m := &memFile{}
+		ff := NewFile(m, NewSchedule(seed, plan))
+		n, err := ff.Write(payload)
+		if m.buf.Len() != n {
+			t.Fatalf("file holds %d bytes, write reported %d", m.buf.Len(), n)
+		}
+		return n, err
+	}
+
+	n1, err1 := run(7)
+	n2, err2 := run(7)
+	if n1 != n2 {
+		t.Fatalf("same seed tore at %d then %d", n1, n2)
+	}
+	if err1 == nil || !errors.Is(err1, ErrInjected) || !errors.Is(err2, ErrInjected) {
+		t.Fatalf("short write must fail with ErrInjected, got %v / %v", err1, err2)
+	}
+	if n1 < 0 || n1 >= len(payload) {
+		t.Fatalf("tear point %d out of range [0,%d)", n1, len(payload))
+	}
+}
+
+func TestSwitchTogglesAllOps(t *testing.T) {
+	sw := NewSwitch()
+	m := &memFile{}
+	ff := NewFile(m, sw)
+
+	if _, err := ff.Write([]byte("ok")); err != nil {
+		t.Fatalf("switch off: write failed: %v", err)
+	}
+	sw.Set(true)
+	if _, err := ff.Write([]byte("no")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("switch on: want ErrInjected, got %v", err)
+	}
+	if err := ff.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("switch on: sync want ErrInjected, got %v", err)
+	}
+	sw.Set(false)
+	if err := ff.Sync(); err != nil {
+		t.Fatalf("switch off again: sync failed: %v", err)
+	}
+	if m.buf.String() != "ok" {
+		t.Fatalf("file holds %q, want only the un-faulted write", m.buf.String())
+	}
+	if sw.Injected() != 2 {
+		t.Fatalf("Injected = %d, want 2", sw.Injected())
+	}
+}
+
+func TestTierFaultsDegradeToMisses(t *testing.T) {
+	inner := newMemTier()
+	key := runner.Key{Platform: "p", Tool: "t", Bench: "b", Procs: 4}
+	res := runner.CellResult{Value: 1.5, Virtual: time.Second}
+
+	sw := NewSwitch()
+	ft := NewTier(inner, sw)
+
+	ft.Fill(key, res)
+	if got, ok := ft.Lookup(key); !ok || got != res {
+		t.Fatalf("un-faulted roundtrip: %+v %v", got, ok)
+	}
+
+	sw.Set(true)
+	if _, ok := ft.Lookup(key); ok {
+		t.Fatal("faulted lookup must report a miss")
+	}
+	key2 := runner.Key{Platform: "p2"}
+	ft.Fill(key2, res)
+	sw.Set(false)
+	if _, ok := ft.Lookup(key2); ok {
+		t.Fatal("faulted fill must drop the write")
+	}
+
+	st := ft.Stats()
+	if st.Lookups != 3 || st.LookupFaults != 1 || st.Fills != 2 || st.FillFaults != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPickSeed(t *testing.T) {
+	if seed, fixed := PickSeed("TOOLEVAL_NO_SUCH_ENV", true); seed != 1 || !fixed {
+		t.Fatalf("short mode: seed=%d fixed=%v, want 1/true", seed, fixed)
+	}
+	t.Setenv("TOOLEVAL_CHAOS_SEED_TEST", "12345")
+	if seed, fixed := PickSeed("TOOLEVAL_CHAOS_SEED_TEST", false); seed != 12345 || !fixed {
+		t.Fatalf("env seed: seed=%d fixed=%v, want 12345/true", seed, fixed)
+	}
+}

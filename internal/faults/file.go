@@ -1,0 +1,117 @@
+package faults
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// File is the file-operation surface the result store drives (a subset
+// of *os.File). It is declared here structurally — identical to
+// store.File — so the two packages need not import each other.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	Truncate(size int64) error
+	Sync() error
+	Close() error
+}
+
+// FaultyFile wraps a File, consulting an Injector before every
+// operation. Injected failures return errors wrapping ErrInjected;
+// short writes persist a deterministic prefix of the payload to the
+// underlying file before failing, reproducing exactly the torn tail a
+// crash mid-append leaves behind.
+//
+// Reads, seeks, and closes are passed through un-faulted by default:
+// the store reads only at Open (fault it there and nothing opens) and
+// closes once. The injector still sees OpRead/OpSeek/OpClose decisions
+// so a dedicated schedule can fault them deliberately.
+type FaultyFile struct {
+	f   File
+	inj Injector
+
+	// tear resolves the prefix length for a short write of n bytes;
+	// nil halves the payload. Schedules install their seeded source.
+	tear func(n int) int
+}
+
+// NewFile wraps f with fault injection from inj. When inj is a
+// *Schedule, short-write tear points come from the same seeded stream.
+func NewFile(f File, inj Injector) *FaultyFile {
+	ff := &FaultyFile{f: f, inj: inj}
+	if s, ok := inj.(*Schedule); ok {
+		ff.tear = s.TearPoint
+	}
+	return ff
+}
+
+// SetTear overrides how short writes pick their prefix length: fn maps
+// a payload size n to a tear point in [0, n). Property tests use this
+// to sweep every possible prefix of a record instead of sampling.
+func (ff *FaultyFile) SetTear(fn func(n int) int) { ff.tear = fn }
+
+func (ff *FaultyFile) apply(op Op, n int) Decision {
+	d := ff.inj.Decide(op, n)
+	if d.Latency > 0 {
+		time.Sleep(d.Latency)
+	}
+	return d
+}
+
+func injected(op Op) error { return fmt.Errorf("%s: %w", op, ErrInjected) }
+
+func (ff *FaultyFile) Write(p []byte) (int, error) {
+	d := ff.apply(OpWrite, len(p))
+	if !d.Fail {
+		return ff.f.Write(p)
+	}
+	if !d.Short || len(p) == 0 {
+		return 0, injected(OpWrite)
+	}
+	k := len(p) / 2
+	if ff.tear != nil {
+		k = ff.tear(len(p))
+	}
+	n, err := ff.f.Write(p[:k])
+	if err != nil {
+		return n, err
+	}
+	return n, fmt.Errorf("short write (%d of %d bytes): %w", n, len(p), ErrInjected)
+}
+
+func (ff *FaultyFile) Sync() error {
+	if ff.apply(OpSync, 0).Fail {
+		return injected(OpSync)
+	}
+	return ff.f.Sync()
+}
+
+func (ff *FaultyFile) Truncate(size int64) error {
+	if ff.apply(OpTruncate, 0).Fail {
+		return injected(OpTruncate)
+	}
+	return ff.f.Truncate(size)
+}
+
+func (ff *FaultyFile) Read(p []byte) (int, error) {
+	if ff.apply(OpRead, len(p)).Fail {
+		return 0, injected(OpRead)
+	}
+	return ff.f.Read(p)
+}
+
+func (ff *FaultyFile) Seek(offset int64, whence int) (int64, error) {
+	if ff.apply(OpSeek, 0).Fail {
+		return 0, injected(OpSeek)
+	}
+	return ff.f.Seek(offset, whence)
+}
+
+func (ff *FaultyFile) Close() error {
+	if ff.apply(OpClose, 0).Fail {
+		return injected(OpClose)
+	}
+	return ff.f.Close()
+}

@@ -1,0 +1,77 @@
+package faults
+
+import (
+	"sync/atomic"
+	"time"
+
+	"tooleval/internal/runner"
+)
+
+// Tier decorates a runner.Tier with fault injection: injected lookup
+// faults report a miss (the cell re-simulates — a tier that cannot
+// answer must degrade, never invent), injected fill faults drop the
+// write (the cell is simply not persisted), and injected latency
+// stalls the call. The Tier contract guarantees none of this can
+// change a result, only cost — which is exactly what the chaos suite
+// pins by comparing faulted and fault-free sweeps byte for byte.
+type Tier struct {
+	inner runner.Tier
+	inj   Injector
+
+	lookups      atomic.Int64
+	lookupFaults atomic.Int64
+	fills        atomic.Int64
+	fillFaults   atomic.Int64
+}
+
+var _ runner.Tier = (*Tier)(nil)
+
+// NewTier wraps inner with fault injection from inj.
+func NewTier(inner runner.Tier, inj Injector) *Tier {
+	return &Tier{inner: inner, inj: inj}
+}
+
+// Lookup implements runner.Tier. An injected fault is a forced miss.
+func (t *Tier) Lookup(key runner.Key) (runner.CellResult, bool) {
+	t.lookups.Add(1)
+	d := t.inj.Decide(OpLookup, 0)
+	if d.Latency > 0 {
+		time.Sleep(d.Latency)
+	}
+	if d.Fail {
+		t.lookupFaults.Add(1)
+		return runner.CellResult{}, false
+	}
+	return t.inner.Lookup(key)
+}
+
+// Fill implements runner.Tier. An injected fault drops the write.
+func (t *Tier) Fill(key runner.Key, res runner.CellResult) {
+	t.fills.Add(1)
+	d := t.inj.Decide(OpFill, 0)
+	if d.Latency > 0 {
+		time.Sleep(d.Latency)
+	}
+	if d.Fail {
+		t.fillFaults.Add(1)
+		return
+	}
+	t.inner.Fill(key, res)
+}
+
+// TierStats snapshots the decorator's traffic counters.
+type TierStats struct {
+	Lookups, LookupFaults int64
+	Fills, FillFaults     int64
+}
+
+// Stats reports how many calls passed through and how many were
+// faulted.
+func (t *Tier) Stats() TierStats {
+	return TierStats{
+		Lookups:      t.lookups.Load(),
+		LookupFaults: t.lookupFaults.Load(),
+		Fills:        t.fills.Load(),
+		FillFaults:   t.fillFaults.Load(),
+	}
+}

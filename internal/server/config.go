@@ -25,11 +25,15 @@
 package server
 
 import (
+	"bufio"
 	"fmt"
+	"io"
 	"regexp"
 	"strconv"
 	"strings"
 	"time"
+
+	"tooleval"
 )
 
 // QuotaTier bounds what one tenant may consume. The zero value of any
@@ -69,6 +73,10 @@ type Config struct {
 	// the shared cache ("" = memory only). The server owns the store
 	// and flushes it on drain.
 	StoreDir string
+	// OpenStore overrides how the StoreDir store is opened; nil =
+	// tooleval.OpenResultStore. The chaos suite injects stores wrapped
+	// with fault-injecting files and tuned circuit breakers here.
+	OpenStore func(dir string) (*tooleval.ResultStore, error)
 	// DrainTimeout bounds how long Shutdown waits for in-flight sweeps
 	// before cancelling them (0 = 30s).
 	DrainTimeout time.Duration
@@ -89,6 +97,16 @@ type Config struct {
 	// MaxSpecsPerJob rejects batches larger than this up front
 	// (0 = 1024).
 	MaxSpecsPerJob int
+	// ResumeWindow is how long a streaming job survives with no
+	// attached subscriber before its sweep is cancelled — the grace
+	// period for a dropped SSE client to reconnect with Last-Event-ID
+	// (0 = 15s; negative = cancel immediately on disconnect, the
+	// pre-resume behavior).
+	ResumeWindow time.Duration
+	// EventBuffer bounds each job's event replay buffer; a subscriber
+	// further behind than this sees a "gap" event instead of the
+	// evicted entries (0 = 4096).
+	EventBuffer int
 	// Logf receives one line per lifecycle event (job admitted,
 	// drain started, ...); nil disables logging.
 	Logf func(format string, args ...any)
@@ -107,6 +125,12 @@ func (c *Config) Normalize() error {
 	}
 	if c.MaxSpecsPerJob <= 0 {
 		c.MaxSpecsPerJob = 1024
+	}
+	if c.ResumeWindow == 0 {
+		c.ResumeWindow = 15 * time.Second
+	}
+	if c.EventBuffer <= 0 {
+		c.EventBuffer = 4096
 	}
 	if c.DefaultTier != "" {
 		if _, ok := c.Tiers[c.DefaultTier]; !ok {
@@ -184,6 +208,60 @@ func ParseTier(s string) (QuotaTier, error) {
 		}
 	}
 	return t, nil
+}
+
+// ParseTierConfig reads a tier-catalog file (the -tier-file flag, re-
+// read on SIGHUP): one directive per line, in exactly the grammar the
+// command-line flags use —
+//
+//	tier <name>=<budgets>        # ParseTier form, e.g. free=cells:500,jobs:2
+//	tenant-tier <tenant>=<tier>  # ParseTenantTier form
+//	default-tier <name>
+//
+// Blank lines and #-comments are ignored. The catalog is returned
+// unvalidated; ReloadTiers (or Normalize) checks the wiring, so a bad
+// file rejects atomically without disturbing the live config.
+func ParseTierConfig(r io.Reader) (tiers map[string]QuotaTier, defaultTier string, tenantTiers map[string]string, err error) {
+	tiers = make(map[string]QuotaTier)
+	tenantTiers = make(map[string]string)
+	sc := bufio.NewScanner(r)
+	for lineNo := 1; sc.Scan(); lineNo++ {
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		directive, arg, ok := strings.Cut(line, " ")
+		arg = strings.TrimSpace(arg)
+		if !ok || arg == "" {
+			return nil, "", nil, fmt.Errorf("tier config line %d: want \"<directive> <value>\", got %q", lineNo, line)
+		}
+		switch directive {
+		case "tier":
+			t, perr := ParseTier(arg)
+			if perr != nil {
+				return nil, "", nil, fmt.Errorf("tier config line %d: %w", lineNo, perr)
+			}
+			tiers[t.Name] = t
+		case "tenant-tier":
+			tenant, tier, perr := ParseTenantTier(arg)
+			if perr != nil {
+				return nil, "", nil, fmt.Errorf("tier config line %d: %w", lineNo, perr)
+			}
+			tenantTiers[tenant] = tier
+		case "default-tier":
+			defaultTier = arg
+		default:
+			return nil, "", nil, fmt.Errorf("tier config line %d: unknown directive %q (want tier, tenant-tier, or default-tier)", lineNo, directive)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, "", nil, fmt.Errorf("tier config: %w", err)
+	}
+	return tiers, defaultTier, tenantTiers, nil
 }
 
 // ParseTenantTier parses one -tenant-tier flag value "tenant=tier".

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"tooleval"
+	"tooleval/internal/store"
 )
 
 // maxRequestBody bounds POST bodies; a batch of specs is small, and an
@@ -84,16 +85,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("server: %d specs exceeds per-job limit %d", len(req.Specs), s.cfg.MaxSpecsPerJob))
 		return
 	}
-	tn, err := s.tenants.get(id)
+	tn, release, err := s.tenants.admit(id)
 	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, err)
-		return
-	}
-	if err := tn.acquireJob(); err != nil {
+		if tn == nil {
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		// Concurrent-job refusal: tell the client when a slot should
+		// free, derived from the tenant's smoothed job duration.
+		w.Header().Set("Retry-After", strconv.FormatInt(int64(tn.retryAfter().Seconds()), 10))
 		writeError(w, http.StatusTooManyRequests, err)
 		return
 	}
-	defer tn.releaseJob()
+	defer release()
 	s.activeJobs.Add(1)
 	defer s.activeJobs.Done()
 
@@ -102,30 +106,46 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		specs[i] = sw.spec()
 	}
 	j := s.jobs.create(id, specs)
+	streaming := wantsSSE(r)
 
-	// The job's context dies with the client connection (disconnect
-	// mid-stream cancels the sweep) or with the drain deadline.
-	ctx, cancel := context.WithCancel(r.Context())
+	// The job's context: the blocking path dies with the client
+	// connection, while a streaming submission survives disconnects for
+	// cfg.ResumeWindow (the watchdog in job.detach cancels it if no
+	// subscriber reattaches). Both die with the drain deadline.
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if streaming {
+		ctx, cancel = context.WithCancel(context.Background())
+		j.makeResumable(cancel, s.cfg.ResumeWindow)
+	} else {
+		ctx, cancel = context.WithCancel(r.Context())
+	}
 	defer cancel()
 	stopAfter := context.AfterFunc(s.hardCtx, cancel)
 	defer stopAfter()
 
-	var stream *sseStream
-	if wantsSSE(r) {
-		st, err := newSSE(w)
+	var forwarded chan struct{}
+	if streaming {
+		stream, err := newSSE(w)
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, err)
+			cancel()
+			j.complete(nil, nil, true)
 			return
 		}
-		stream = st
-		stream.send("job", j.status())
+		forwarded = make(chan struct{})
+		go func() {
+			defer close(forwarded)
+			forward(r.Context(), stream, j, 0)
+		}()
 	}
 
 	// The per-job sink: every event in this batch's call tree folds
-	// into the job counters, the tenant counters, and (when streaming)
-	// the client's SSE feed. Runs on the session's worker goroutines.
+	// into the job counters, the tenant counters, and the job's replay
+	// buffer (which live streams drain). Runs on the session's worker
+	// goroutines.
 	ctx = tooleval.EventContext(ctx, func(ev tooleval.Event) {
-		j.observe(ev)
+		j.publish(ev)
 		switch e := ev.(type) {
 		case tooleval.CellEvent:
 			tn.cells.Add(1)
@@ -138,18 +158,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 				tn.specsFailed.Add(1)
 			}
 		}
-		if stream != nil {
-			if name, data, ok := eventWire(ev); ok {
-				stream.send(name, data)
-			}
-		}
 	})
 
 	results, errs := tn.sess.SubmitAll(ctx, specs)
 	j.complete(results, errs, ctx.Err() != nil)
 
-	if stream != nil {
-		stream.send("job_done", j.status())
+	if streaming {
+		<-forwarded // job_done flushed, or the client went away
 		return
 	}
 
@@ -177,6 +192,82 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 func wantsSSE(r *http.Request) bool {
 	return strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+}
+
+// gapWire is the "gap" SSE event: the subscriber resumed (or fell)
+// past the replay buffer and missed Missed events. The stream is still
+// live from the current position; a client needing the lost ground
+// fetches the final report instead.
+type gapWire struct {
+	Missed int64 `json:"missed"`
+}
+
+// forward drains j's replay buffer onto stream, starting after event
+// id after, until the job's log closes (job_done flushed), the client
+// disconnects, or ctx ends. Every frame carries its log id, so the
+// client can resume from wherever the stream died.
+func forward(ctx context.Context, stream *sseStream, j *job, after int64) {
+	j.attach()
+	defer j.detach()
+	for {
+		events, missed, done, updated := j.events.since(after)
+		if missed > 0 {
+			stream.send("gap", gapWire{Missed: missed})
+			after += missed
+		}
+		for _, e := range events {
+			stream.sendRaw(e.id, e.name, e.data)
+			after = e.id
+		}
+		if stream.failed() {
+			return
+		}
+		if len(events) > 0 || missed > 0 {
+			// Made progress: more may have arrived (or the log closed)
+			// while draining, so re-check before sleeping.
+			continue
+		}
+		if done {
+			return
+		}
+		select {
+		case <-updated:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// handleJobEvents serves GET /v1/jobs/{id}/events: the job's SSE feed,
+// resumable. A fresh subscriber replays the whole retained buffer; one
+// reconnecting sends Last-Event-ID (or ?after=N) and replays only the
+// gap, then continues live. Attaching also disarms the disconnect
+// watchdog, so a dropped POST stream that reconnects here keeps its
+// sweep alive.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	after := int64(0)
+	arg := r.Header.Get("Last-Event-ID")
+	if arg == "" {
+		arg = r.URL.Query().Get("after")
+	}
+	if arg != "" {
+		n, err := strconv.ParseInt(arg, 10, 64)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("server: bad Last-Event-ID %q", arg))
+			return
+		}
+		after = n
+	}
+	stream, err := newSSE(w)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	forward(r.Context(), stream, j, after)
 }
 
 // handleJobStatus serves GET /v1/jobs/{id}: live progress counters.
@@ -243,31 +334,44 @@ func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) (*job, bool) 
 
 // healthWire is the GET /healthz body.
 type healthWire struct {
-	Status     string `json:"status"` // "ok" | "degraded" | "draining"
-	StoreError string `json:"store_error,omitempty"`
+	Status string `json:"status"` // "ok" | "degraded" | "draining"
+	// StoreCircuit is the durable store's write-path breaker state
+	// (closed | open | half-open); absent without a store. The store
+	// recovers on its own — an open circuit probes the disk under
+	// backoff and re-closes when a probe succeeds — so "degraded" is a
+	// condition to watch, not to restart over.
+	StoreCircuit string `json:"store_circuit,omitempty"`
+	StoreError   string `json:"store_error,omitempty"`
 }
 
 // healthFor maps server state to the health response. Draining is a
 // 503 so load balancers stop routing here; a degraded durable store
-// (persistence halted mid-run, evaluation still correct from the
-// in-memory tier) stays 200 but flips status so operators notice.
-func healthFor(draining bool, storeErr error) (int, healthWire) {
+// (persistence paused while the circuit is open, evaluation still
+// correct from the in-memory tier) stays 200 but flips status so
+// operators notice.
+func healthFor(draining bool, sh *store.Health) (int, healthWire) {
 	if draining {
 		return http.StatusServiceUnavailable, healthWire{Status: "draining"}
 	}
-	if storeErr != nil {
-		return http.StatusOK, healthWire{Status: "degraded", StoreError: storeErr.Error()}
+	h := healthWire{Status: "ok"}
+	if sh != nil {
+		h.StoreCircuit = string(sh.State)
+		if sh.State != store.CircuitClosed {
+			h.Status = "degraded"
+			h.StoreError = errString(sh.Err)
+		}
 	}
-	return http.StatusOK, healthWire{Status: "ok"}
+	return http.StatusOK, h
 }
 
 // handleHealthz reports liveness; see healthFor for the state mapping.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	var storeErr error
+	var sh *store.Health
 	if s.store != nil {
-		storeErr = s.store.Err()
+		h := s.store.Health()
+		sh = &h
 	}
-	code, h := healthFor(s.draining.Load(), storeErr)
+	code, h := healthFor(s.draining.Load(), sh)
 	writeJSON(w, code, h)
 }
 
@@ -286,8 +390,12 @@ type cacheStatsWire struct {
 }
 
 type storeStatsWire struct {
-	Cells int    `json:"cells"`
-	Error string `json:"error,omitempty"`
+	Cells   int    `json:"cells"`
+	Circuit string `json:"circuit"` // write-path breaker state
+	Trips   int64  `json:"trips"`   // times the breaker opened
+	Probes  int64  `json:"probes"`  // half-open probe writes admitted
+	Dropped int64  `json:"dropped"` // fills skipped while open
+	Error   string `json:"error,omitempty"`
 }
 
 type tenantStatsWire struct {
@@ -312,7 +420,15 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		Tenants:  make(map[string]tenantStatsWire),
 	}
 	if s.store != nil {
-		out.Store = &storeStatsWire{Cells: s.store.Len(), Error: errString(s.store.Err())}
+		sh := s.store.Health()
+		out.Store = &storeStatsWire{
+			Cells:   s.store.Len(),
+			Circuit: string(sh.State),
+			Trips:   sh.Trips,
+			Probes:  sh.Probes,
+			Dropped: sh.Dropped,
+			Error:   errString(sh.Err),
+		}
 	}
 	for _, t := range s.tenants.snapshot() {
 		out.Tenants[t.id] = tenantStatsWire{

@@ -1,8 +1,10 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"tooleval"
 )
@@ -14,12 +16,14 @@ const (
 	jobCancelled = "cancelled" // client disconnect or drain deadline aborted it
 )
 
-// job is one submitted batch: its specs, live event counters, and —
-// once finished — its outcome and marshalled report.
+// job is one submitted batch: its specs, live event counters, the
+// replay buffer its streams drain, and — once finished — its outcome
+// and marshalled report.
 type job struct {
 	id     string
 	tenant string
 	specs  []tooleval.ExperimentSpec
+	events *eventLog
 
 	mu         sync.Mutex
 	state      string
@@ -29,6 +33,60 @@ type job struct {
 	failed     int
 	report     []byte
 	reportErr  error
+
+	// Resume watchdog (streaming submissions only): the sweep's context
+	// is cancelled not when the client disconnects but when no
+	// subscriber has been attached for resumeWindow — the grace period
+	// in which a dropped stream may reconnect with Last-Event-ID.
+	cancel       context.CancelFunc // nil: job not resumable (blocking path)
+	resumeWindow time.Duration
+	subs         int
+	watchdog     *time.Timer
+}
+
+// makeResumable arms the disconnect watchdog: cancel aborts the sweep
+// if every subscriber stays detached for window. Call before the first
+// attach.
+func (j *job) makeResumable(cancel context.CancelFunc, window time.Duration) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.cancel = cancel
+	j.resumeWindow = window
+}
+
+// attach registers one live subscriber, disarming any pending
+// disconnect watchdog.
+func (j *job) attach() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.subs++
+	if j.watchdog != nil {
+		j.watchdog.Stop()
+		j.watchdog = nil
+	}
+}
+
+// detach unregisters a subscriber. When the last one leaves a running
+// resumable job, the watchdog starts: reconnect within the window or
+// the sweep is cancelled (its cells finish; nothing half-done caches).
+func (j *job) detach() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.subs--
+	if j.subs > 0 || j.state != jobRunning || j.cancel == nil || j.watchdog != nil {
+		return
+	}
+	j.watchdog = time.AfterFunc(j.resumeWindow, j.cancel)
+}
+
+// publish folds one session event into the job's counters and appends
+// its wire form to the replay buffer. It runs on the session's worker
+// goroutines; append never blocks on subscribers.
+func (j *job) publish(ev tooleval.Event) {
+	j.observe(ev)
+	if name, data, ok := eventWire(ev); ok {
+		j.events.append(name, marshalEvent(name, data))
+	}
 }
 
 // observe folds one session event into the job's counters. It is the
@@ -57,13 +115,21 @@ func (j *job) observe(ev tooleval.Event) {
 func (j *job) complete(results []tooleval.Result, errs []error, cancelled bool) {
 	report, reportErr := MarshalBatchReport(results, errs)
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	j.report, j.reportErr = report, reportErr
 	if cancelled {
 		j.state = jobCancelled
 	} else {
 		j.state = jobDone
 	}
+	if j.watchdog != nil {
+		j.watchdog.Stop()
+		j.watchdog = nil
+	}
+	final := j.statusLocked()
+	j.mu.Unlock()
+	// The terminal event, then no more: subscribers drain and hang up.
+	j.events.append("job_done", marshalEvent("job_done", final))
+	j.events.close()
 }
 
 // reportBytes returns the rendered report — nil while the job still
@@ -89,6 +155,10 @@ type jobStatusWire struct {
 func (j *job) status() jobStatusWire {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	return j.statusLocked()
+}
+
+func (j *job) statusLocked() jobStatusWire {
 	return jobStatusWire{
 		Job:        j.id,
 		Tenant:     j.tenant,
@@ -110,20 +180,36 @@ type jobStore struct {
 	jobs     map[string]*job
 	byTenant map[string][]*job // insertion order, for eviction
 	retain   int
+	eventCap int // replay-buffer bound per job
 	seq      int64
 }
 
-func newJobStore(retain int) *jobStore {
-	return &jobStore{jobs: make(map[string]*job), byTenant: make(map[string][]*job), retain: retain}
+func newJobStore(retain, eventCap int) *jobStore {
+	return &jobStore{
+		jobs:     make(map[string]*job),
+		byTenant: make(map[string][]*job),
+		retain:   retain,
+		eventCap: eventCap,
+	}
 }
 
 // create registers a new running job for tenant and evicts that
-// tenant's stale finished jobs beyond the retention bound.
+// tenant's stale finished jobs beyond the retention bound. The job's
+// replay buffer opens with the initial "job" status snapshot, so every
+// subscriber — even one attaching after the sweep started — sees the
+// job header first.
 func (s *jobStore) create(tenant string, specs []tooleval.ExperimentSpec) *job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.seq++
-	j := &job{id: fmt.Sprintf("j-%06d", s.seq), tenant: tenant, specs: specs, state: jobRunning}
+	j := &job{
+		id:     fmt.Sprintf("j-%06d", s.seq),
+		tenant: tenant,
+		specs:  specs,
+		state:  jobRunning,
+		events: newEventLog(s.eventCap),
+	}
+	j.events.append("job", marshalEvent("job", j.status()))
 	s.jobs[j.id] = j
 	list := append(s.byTenant[tenant], j)
 	// Evict oldest finished jobs past the bound (finished only: a

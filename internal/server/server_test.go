@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"tooleval"
+	"tooleval/internal/store"
 )
 
 // --- test plumbing ----------------------------------------------------
@@ -361,12 +362,13 @@ func TestSSEPhaseEvents(t *testing.T) {
 }
 
 // TestClientDisconnectCancelsJob is the disconnect drill: an SSE
-// consumer drops mid-sweep, the job's context dies, in-flight specs
-// abort with exactly one SpecStart/SpecDone pair each, nothing from the
-// cancelled run poisons the shared cache, and an identical resubmission
-// succeeds byte-identical to a local run.
+// consumer drops mid-sweep and nobody reattaches within the resume
+// window, so the job's context dies, in-flight specs abort with
+// exactly one SpecStart/SpecDone pair each, nothing from the cancelled
+// run poisons the shared cache, and an identical resubmission succeeds
+// byte-identical to a local run.
 func TestClientDisconnectCancelsJob(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	_, ts := newTestServer(t, Config{ResumeWindow: 50 * time.Millisecond})
 	batch := []tooleval.ExperimentSpec{
 		{Kind: tooleval.KindEvaluate, Scale: 0.1},
 		{Kind: tooleval.KindApp, Platform: "sun-ethernet", Tool: "p4", App: "psrs", ProcsList: []int{1, 2, 4, 8}, Scale: 1},
@@ -640,7 +642,7 @@ func TestHealthz(t *testing.T) {
 
 // TestHealthFor pins the status mapping, including the degraded-store
 // case a live handler only hits when segment writes start failing
-// mid-run.
+// mid-run and the circuit opens.
 func TestHealthFor(t *testing.T) {
 	if code, h := healthFor(false, nil); code != http.StatusOK || h.Status != "ok" {
 		t.Fatalf("healthy: %d %+v", code, h)
@@ -648,13 +650,22 @@ func TestHealthFor(t *testing.T) {
 	if code, h := healthFor(true, nil); code != http.StatusServiceUnavailable || h.Status != "draining" {
 		t.Fatalf("draining: %d %+v", code, h)
 	}
-	code, h := healthFor(false, fmt.Errorf("store: write failed: disk full"))
-	if code != http.StatusOK || h.Status != "degraded" || !strings.Contains(h.StoreError, "disk full") {
+	closed := &store.Health{State: store.CircuitClosed}
+	if code, h := healthFor(false, closed); code != http.StatusOK || h.Status != "ok" || h.StoreCircuit != "closed" {
+		t.Fatalf("healthy store: %d %+v", code, h)
+	}
+	open := &store.Health{State: store.CircuitOpen, Err: fmt.Errorf("store: write failed: disk full")}
+	code, h := healthFor(false, open)
+	if code != http.StatusOK || h.Status != "degraded" || h.StoreCircuit != "open" ||
+		!strings.Contains(h.StoreError, "disk full") {
 		t.Fatalf("degraded: %d %+v", code, h)
+	}
+	if _, h := healthFor(false, &store.Health{State: store.CircuitHalfOpen}); h.Status != "degraded" || h.StoreCircuit != "half-open" {
+		t.Fatalf("half-open: %+v", h)
 	}
 	// Draining wins over degraded: a draining instance must leave the
 	// rotation whatever the store's state.
-	if code, h := healthFor(true, fmt.Errorf("store: down")); code != http.StatusServiceUnavailable || h.Status != "draining" {
+	if code, h := healthFor(true, open); code != http.StatusServiceUnavailable || h.Status != "draining" {
 		t.Fatalf("draining+degraded: %d %+v", code, h)
 	}
 }

@@ -8,17 +8,15 @@ import (
 )
 
 // sseStream serializes server-sent events onto one HTTP response.
-// Session events arrive from concurrent worker goroutines, so every
-// send locks; each event is flushed immediately (a stream that batches
-// is not a stream). A write error — the client went away — latches the
+// Every send locks and flushes immediately (a stream that batches is
+// not a stream). A write error — the client went away — latches the
 // stream closed and later sends are dropped: the job's fate is decided
-// by its context (cancelled via the request), not by write failures.
+// by the resume watchdog (job.detach), not by write failures.
 //
-// Backpressure is deliberate: a slow consumer blocks the goroutine
-// delivering its event, which is one of its own job's workers — a
-// tenant reading slowly slows only its own sweep, never another
-// tenant's (coalesced waiters on a shared cell are woken before the
-// owner's sink runs).
+// Streams read from the per-job eventLog rather than sitting in the
+// simulation's event path, so a slow consumer falls behind its job's
+// replay buffer (and eventually sees a "gap" event) instead of
+// blocking the worker goroutines publishing events.
 type sseStream struct {
 	mu  sync.Mutex
 	w   http.ResponseWriter
@@ -42,21 +40,47 @@ func newSSE(w http.ResponseWriter) (*sseStream, error) {
 }
 
 // send emits one "event:"/"data:" frame with data as JSON and flushes.
+// Events without a log id (errors, gap notices) use it directly.
 func (s *sseStream) send(event string, data any) {
-	blob, err := json.Marshal(data)
-	if err != nil {
-		// Wire structs are marshal-safe by construction; a failure here
-		// is a programming error worth surfacing loudly in tests.
-		panic(fmt.Sprintf("server: marshalling %s event: %v", event, err))
-	}
+	s.sendRaw(0, event, marshalEvent(event, data))
+}
+
+// sendRaw emits one frame from pre-marshalled JSON; id > 0 adds the
+// "id:" line that makes the frame resumable via Last-Event-ID.
+func (s *sseStream) sendRaw(id int64, event string, blob []byte) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.err != nil {
 		return
 	}
-	if _, err := fmt.Fprintf(s.w, "event: %s\ndata: %s\n\n", event, blob); err != nil {
+	var err error
+	if id > 0 {
+		_, err = fmt.Fprintf(s.w, "id: %d\nevent: %s\ndata: %s\n\n", id, event, blob)
+	} else {
+		_, err = fmt.Fprintf(s.w, "event: %s\ndata: %s\n\n", event, blob)
+	}
+	if err != nil {
 		s.err = err
 		return
 	}
 	s.f.Flush()
+}
+
+// failed reports whether the stream has latched a write error (the
+// client disconnected); forwarders use it to stop draining the log.
+func (s *sseStream) failed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err != nil
+}
+
+// marshalEvent renders an event payload. Wire structs are marshal-safe
+// by construction; a failure here is a programming error worth
+// surfacing loudly in tests.
+func marshalEvent(event string, data any) []byte {
+	blob, err := json.Marshal(data)
+	if err != nil {
+		panic(fmt.Sprintf("server: marshalling %s event: %v", event, err))
+	}
+	return blob
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tooleval"
 )
@@ -16,76 +17,171 @@ type tenant struct {
 	id   string
 	tier QuotaTier
 	sess *tooleval.Session
+	gen  int64 // registry generation this tenant was built under
 
 	// jobSlots is the concurrent-job gate (nil = unlimited): acquire
 	// is non-blocking, because the tier's job limit is a refusal
 	// surface (429), not a queue.
 	jobSlots chan struct{}
 
-	jobsActive  atomic.Int64
-	jobsStarted atomic.Int64
-	jobsDone    atomic.Int64
-	jobsRefused atomic.Int64
-	specsDone   atomic.Int64
-	specsFailed atomic.Int64
-	cells       atomic.Int64 // cell completions observed by this tenant's jobs
-	cellsCached atomic.Int64 // ... of which served from cache or store
+	jobsActive   atomic.Int64
+	jobsStarted  atomic.Int64
+	jobsDone     atomic.Int64
+	jobsRefused  atomic.Int64
+	specsDone    atomic.Int64
+	specsFailed  atomic.Int64
+	cells        atomic.Int64 // cell completions observed by this tenant's jobs
+	cellsCached  atomic.Int64 // ... of which served from cache or store
+	jobNanosEWMA atomic.Int64 // smoothed job duration, feeds Retry-After
 }
 
 // acquireJob takes a job slot, or refuses with a typed quota error —
 // the same *tooleval.QuotaError shape session budgets raise, so one
-// errors.As covers every 429 the server produces.
-func (t *tenant) acquireJob() error {
+// errors.As covers every 429 the server produces. On success the
+// returned closure releases exactly the slot taken: it binds this
+// tenant object and its channel, so a tier reload that rebuilds the
+// tenant can never strand an in-flight job's release on a fresh
+// channel.
+func (t *tenant) acquireJob() (release func(), err error) {
 	if t.jobSlots != nil {
 		select {
 		case t.jobSlots <- struct{}{}:
 		default:
 			t.jobsRefused.Add(1)
 			limit := int64(t.tier.MaxConcurrentJobs)
-			return fmt.Errorf("tenant %q: concurrent-job limit reached: %w", t.id,
+			return nil, fmt.Errorf("tenant %q: concurrent-job limit reached: %w", t.id,
 				&tooleval.QuotaError{Resource: "concurrent jobs", Used: limit, Limit: limit})
 		}
 	}
 	t.jobsActive.Add(1)
 	t.jobsStarted.Add(1)
-	return nil
+	started := time.Now()
+	return func() {
+		t.recordJobDuration(time.Since(started))
+		t.jobsActive.Add(-1)
+		t.jobsDone.Add(1)
+		if t.jobSlots != nil {
+			<-t.jobSlots
+		}
+	}, nil
 }
 
-func (t *tenant) releaseJob() {
-	t.jobsActive.Add(-1)
-	t.jobsDone.Add(1)
-	if t.jobSlots != nil {
-		<-t.jobSlots
+// carryCounters copies the cumulative counters from the tenant this
+// one replaces, so a tier reload does not reset /statsz history.
+func (t *tenant) carryCounters(old *tenant) {
+	t.jobsStarted.Store(old.jobsStarted.Load())
+	t.jobsDone.Store(old.jobsDone.Load())
+	t.jobsRefused.Store(old.jobsRefused.Load())
+	t.specsDone.Store(old.specsDone.Load())
+	t.specsFailed.Store(old.specsFailed.Load())
+	t.cells.Store(old.cells.Load())
+	t.cellsCached.Store(old.cellsCached.Load())
+	t.jobNanosEWMA.Store(old.jobNanosEWMA.Load())
+}
+
+// recordJobDuration folds one finished job into the duration EWMA
+// (weight 1/4 on the new sample); the first sample seeds it.
+func (t *tenant) recordJobDuration(d time.Duration) {
+	for {
+		old := t.jobNanosEWMA.Load()
+		next := int64(d)
+		if old != 0 {
+			next = (3*old + int64(d)) / 4
+		}
+		if t.jobNanosEWMA.CompareAndSwap(old, next) {
+			return
+		}
 	}
+}
+
+// retryAfter estimates how long until a job slot frees: the smoothed
+// job duration divided across the tier's concurrent slots, rounded up
+// to whole seconds, at least 1. It is the Retry-After value for
+// concurrent-job 429s — honest enough that a backing-off client
+// usually succeeds on its first retry.
+func (t *tenant) retryAfter() time.Duration {
+	ewma := time.Duration(t.jobNanosEWMA.Load())
+	slots := t.tier.MaxConcurrentJobs
+	if slots < 1 {
+		slots = 1
+	}
+	est := ewma / time.Duration(slots)
+	if est < time.Second {
+		return time.Second
+	}
+	return est.Round(time.Second)
 }
 
 // registry owns the tenant set: tenants materialize on first request
 // and live until the server drains. All sessions share srvCache.
+//
+// The registry is also the reload point: bumping gen (Server.
+// ReloadTiers) marks every tenant stale, and a stale tenant is rebuilt
+// under the new tier catalog at its next idle admission — no in-flight
+// job ever has its session closed or its quota changed underneath it.
 type registry struct {
 	mu      sync.Mutex
 	tenants map[string]*tenant
-	build   func(id string) *tenant
+	build   func(id string, gen int64) *tenant
+	gen     int64
 	closed  bool
 }
 
-func newRegistry(build func(id string) *tenant) *registry {
+func newRegistry(build func(id string, gen int64) *tenant) *registry {
 	return &registry{tenants: make(map[string]*tenant), build: build}
 }
 
-// get returns the tenant for id, creating it on first use. After the
-// registry is closed (drain completed) no new tenants are admitted.
-func (r *registry) get(id string) (*tenant, error) {
+// admit returns the tenant for id with a job slot acquired, creating
+// the tenant on first use and rebuilding it when a tier reload left it
+// stale and it has no jobs in flight. Resolution and slot acquisition
+// happen under one lock, so a job can never start on a session that a
+// concurrent reload is about to retire. After the registry is closed
+// (drain completed) no new tenants are admitted.
+func (r *registry) admit(id string) (*tenant, func(), error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.closed {
-		return nil, fmt.Errorf("server: draining, not admitting tenants")
+		return nil, nil, fmt.Errorf("server: draining, not admitting tenants")
 	}
 	t, ok := r.tenants[id]
-	if !ok {
-		t = r.build(id)
+	var retired *tooleval.Session
+	switch {
+	case ok && t.gen != r.gen && t.jobsActive.Load() == 0:
+		old := t
+		retired = old.sess
+		t = r.build(id, r.gen)
+		t.carryCounters(old)
+		r.tenants[id] = t
+	case !ok:
+		t = r.build(id, r.gen)
 		r.tenants[id] = t
 	}
-	return t, nil
+	release, err := t.acquireJob()
+	if err != nil {
+		return t, nil, err
+	}
+	if retired != nil {
+		// Close the replaced session only after its successor holds the
+		// admission; an idempotent close outside the job path.
+		retired.Close()
+	}
+	return t, release, nil
+}
+
+// lookup returns the tenant for id without admitting a job, nil when
+// the tenant has never been admitted.
+func (r *registry) lookup(id string) *tenant {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tenants[id]
+}
+
+// bumpGen marks every tenant stale (rebuilt at next idle admission)
+// after a tier-catalog swap.
+func (r *registry) bumpGen() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gen++
 }
 
 // snapshot returns the tenants sorted by id (for deterministic

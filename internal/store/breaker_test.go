@@ -1,0 +1,197 @@
+package store
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+var errDiskTest = errors.New("disk failure (test)")
+
+// flakyFile wraps the segment file with test-controlled write behavior:
+// pass writes through, fail them outright, or tear them (persist a
+// prefix, then fail) — the shape a crash or a full disk leaves behind.
+type flakyFile struct {
+	inner  File
+	mode   int // 0 pass, 1 fail, 2 tear
+	tearAt int // prefix length persisted in tear mode
+	writes int // Write calls that reached this wrapper
+}
+
+const (
+	modePass = iota
+	modeFail
+	modeTear
+)
+
+func (f *flakyFile) Write(p []byte) (int, error) {
+	f.writes++
+	switch f.mode {
+	case modeFail:
+		return 0, errDiskTest
+	case modeTear:
+		k := f.tearAt
+		if k > len(p) {
+			k = len(p)
+		}
+		n, _ := f.inner.Write(p[:k])
+		return n, errDiskTest
+	}
+	return f.inner.Write(p)
+}
+
+func (f *flakyFile) Read(p []byte) (int, error)            { return f.inner.Read(p) }
+func (f *flakyFile) Seek(off int64, wh int) (int64, error) { return f.inner.Seek(off, wh) }
+func (f *flakyFile) Truncate(size int64) error             { return f.inner.Truncate(size) }
+func (f *flakyFile) Sync() error                           { return f.inner.Sync() }
+func (f *flakyFile) Close() error                          { return f.inner.Close() }
+
+// fakeClock is a manually advanced time source for the breaker.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// openFlaky opens a store in dir with the flaky file and fake clock
+// interposed, tripping after 3 failures with a 1s → 8s backoff.
+func openFlaky(t *testing.T, dir string) (*Store, *flakyFile, *fakeClock) {
+	t.Helper()
+	ff := &flakyFile{}
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	s, err := Open(dir, testEngine,
+		WithFile(func(f File) File { ff.inner = f; return ff }),
+		WithBreaker(3, time.Second, 8*time.Second),
+		WithClock(clk.now),
+	)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s, ff, clk
+}
+
+func TestBreakerTripsAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	s, ff, clk := openFlaky(t, dir)
+	defer s.Close()
+
+	fillN(t, s, 2) // healthy writes
+	if h := s.Health(); h.State != CircuitClosed || s.Err() != nil {
+		t.Fatalf("healthy store: state %s err %v", h.State, s.Err())
+	}
+
+	ff.mode = modeFail
+	for i := 2; i < 5; i++ {
+		s.Fill(cellKey(i), cellRes(i))
+	}
+	h := s.Health()
+	if h.State != CircuitOpen || h.Trips != 1 || h.Failures != 3 {
+		t.Fatalf("after 3 failures: %+v", h)
+	}
+	if err := s.Err(); !errors.Is(err, errDiskTest) {
+		t.Fatalf("Err = %v, want wrapped disk failure", err)
+	}
+
+	// Open circuit: fills are dropped without touching the file.
+	writesBefore := ff.writes
+	s.Fill(cellKey(5), cellRes(5))
+	if ff.writes != writesBefore {
+		t.Fatal("open circuit attempted a write")
+	}
+	if h := s.Health(); h.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1", h.Dropped)
+	}
+
+	// Backoff elapses: half-open, and the disk has healed.
+	clk.advance(time.Second)
+	if h := s.Health(); h.State != CircuitHalfOpen {
+		t.Fatalf("after backoff: state %s", h.State)
+	}
+	ff.mode = modePass
+	s.Fill(cellKey(6), cellRes(6))
+	h = s.Health()
+	if h.State != CircuitClosed || h.Probes != 1 || s.Err() != nil {
+		t.Fatalf("after successful probe: %+v err %v", h, s.Err())
+	}
+	s.Fill(cellKey(7), cellRes(7))
+	s.Fill(cellKey(8), cellRes(8))
+
+	// Everything that reported success survives a reopen; the cells
+	// refused while the circuit was open do not.
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	re := openT(t, dir, testEngine)
+	defer re.Close()
+	if re.Len() != 5 {
+		t.Fatalf("reopened store holds %d cells, want 5", re.Len())
+	}
+	wantCells(t, re, []int{0, 1, 6, 7, 8}, []int{2, 3, 4, 5})
+}
+
+func TestBreakerBackoffDoublesUntilCapped(t *testing.T) {
+	s, ff, clk := openFlaky(t, t.TempDir())
+	defer s.Close()
+
+	ff.mode = modeFail
+	for i := 0; i < 3; i++ {
+		s.Fill(cellKey(i), cellRes(i))
+	}
+	want := time.Second
+	start := clk.t
+	if h := s.Health(); !h.RetryAt.Equal(start.Add(want)) {
+		t.Fatalf("initial retry at %v, want +%v", h.RetryAt, want)
+	}
+	// Failed probes: backoff 2s, 4s, 8s, then capped at 8s.
+	for _, next := range []time.Duration{2 * time.Second, 4 * time.Second, 8 * time.Second, 8 * time.Second} {
+		clk.t = s.Health().RetryAt
+		s.Fill(cellKey(99), cellRes(99))
+		if h := s.Health(); !h.RetryAt.Equal(clk.t.Add(next)) {
+			t.Fatalf("retry at %v, want %v after failed probe", h.RetryAt, clk.t.Add(next))
+		}
+	}
+	if h := s.Health(); h.Probes != 4 || h.Trips != 1 {
+		t.Fatalf("probes %d trips %d, want 4/1", h.Probes, h.Trips)
+	}
+
+	// Close while degraded reports the pending write error.
+	if err := s.Close(); !errors.Is(err, errDiskTest) {
+		t.Fatalf("Close on open circuit = %v, want disk failure", err)
+	}
+}
+
+func TestTornWriteRepairedBeforeNextAppend(t *testing.T) {
+	dir := t.TempDir()
+	s, ff, _ := openFlaky(t, dir)
+	defer s.Close()
+
+	fillN(t, s, 3)
+	intact := segSize(t, s)
+
+	// One torn append: a frame prefix lands on disk, the write fails.
+	ff.mode = modeTear
+	ff.tearAt = 7
+	s.Fill(cellKey(3), cellRes(3))
+	if got := segSize(t, s); got != intact+7 {
+		t.Fatalf("segment %d bytes after tear, want %d", got, intact+7)
+	}
+	if h := s.Health(); h.State != CircuitClosed || h.Failures != 1 {
+		t.Fatalf("one failure must not trip: %+v", h)
+	}
+
+	// The next append first truncates the torn prefix, so the log stays
+	// a clean record sequence — reopen recovers every succeeded fill.
+	ff.mode = modePass
+	s.Fill(cellKey(4), cellRes(4))
+	if h := s.Health(); h.Failures != 0 || s.Err() != nil {
+		t.Fatalf("successful write must clear failures: %+v err %v", h, s.Err())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	re := openT(t, dir, testEngine)
+	defer re.Close()
+	if re.Len() != 4 {
+		t.Fatalf("reopened store holds %d cells, want 4", re.Len())
+	}
+	wantCells(t, re, []int{0, 1, 2, 4}, []int{3})
+}

@@ -1,0 +1,289 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"tooleval/internal/faults"
+)
+
+// The TestChaos* tests are the store half of the seeded chaos suite
+// (make chaos / the CI chaos job): property tests over every torn-write
+// prefix, every truncation length, and every single-byte corruption of
+// a segment, all asserting the same invariant — the store recovers to
+// exactly the longest intact record prefix and heals completely once
+// the damaged cells refill. In -short mode the seed is pinned; the full
+// run draws (and logs) a fresh one, reproducible via
+// TOOLEVAL_CHAOS_SEED.
+
+// chaosSeed resolves and logs the seed a chaos test runs under.
+func chaosSeed(t *testing.T) uint64 {
+	t.Helper()
+	seed, pinned := faults.PickSeed("TOOLEVAL_CHAOS_SEED", testing.Short())
+	if pinned {
+		t.Logf("chaos seed %d (pinned)", seed)
+	} else {
+		t.Logf("chaos seed %d (rerun with TOOLEVAL_CHAOS_SEED=%d to reproduce)", seed, seed)
+	}
+	return seed
+}
+
+// recordOffsets fills n cells through a clean store in its own
+// directory and returns offs where offs[i] is the segment size after i
+// records (offs[0] = header only), plus the pristine segment bytes.
+func recordOffsets(t *testing.T, n int) (offs []int64, pristine []byte) {
+	t.Helper()
+	dir := t.TempDir()
+	s := openT(t, dir, testEngine)
+	offs = append(offs, segSize(t, s))
+	for i := 0; i < n; i++ {
+		s.Fill(cellKey(i), cellRes(i))
+		offs = append(offs, segSize(t, s))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	pristine, err := os.ReadFile(s.Path())
+	if err != nil {
+		t.Fatalf("reading pristine segment: %v", err)
+	}
+	return offs, pristine
+}
+
+// tearNthWrite is the Injector for the torn-prefix sweep: it turns
+// exactly one write (1-based, counting every write through the file,
+// header included) into a short write and passes everything else.
+type tearNthWrite struct {
+	mu     sync.Mutex
+	writes int
+	target int
+}
+
+func (i *tearNthWrite) Decide(op faults.Op, _ int) faults.Decision {
+	if op != faults.OpWrite {
+		return faults.Decision{}
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.writes++
+	if i.writes == i.target {
+		return faults.Decision{Fail: true, Short: true}
+	}
+	return faults.Decision{}
+}
+
+// TestChaosEveryTornPrefixRepairs drives a short write through the
+// fault seam at every possible tear point of a record and proves the
+// in-process repair path: the failed Fill leaves a torn half-frame on
+// disk, the next Fill of the same cell truncates it back and appends
+// cleanly, and the healed segment is byte-for-byte the size a fault-free
+// run produces.
+func TestChaosEveryTornPrefixRepairs(t *testing.T) {
+	const n = 4
+	offs, _ := recordOffsets(t, n)
+	frameLen := int(offs[n] - offs[n-1]) // the record the sweep tears
+
+	for k := 0; k < frameLen; k++ {
+		dir := t.TempDir()
+		// Write #1 is the fresh store's header; fill i is write 2+i, so
+		// the last cell's append is write n+1.
+		inj := &tearNthWrite{target: n + 1}
+		s, err := Open(dir, testEngine, WithFile(func(f File) File {
+			ff := faults.NewFile(f, inj)
+			ff.SetTear(func(int) int { return k })
+			return ff
+		}))
+		if err != nil {
+			t.Fatalf("tear@%d: Open: %v", k, err)
+		}
+		for i := 0; i < n; i++ {
+			s.Fill(cellKey(i), cellRes(i))
+		}
+		h := s.Health()
+		if h.Failures != 1 || !errors.Is(h.Err, faults.ErrInjected) {
+			t.Fatalf("tear@%d: after torn write: failures=%d err=%v", k, h.Failures, h.Err)
+		}
+		if got := segSize(t, s); got != offs[n-1]+int64(k) {
+			t.Fatalf("tear@%d: torn segment is %d bytes, want %d", k, got, offs[n-1]+int64(k))
+		}
+		// The cell the torn write lost re-fills: repair truncates the
+		// half-frame and the append lands cleanly.
+		s.Fill(cellKey(n-1), cellRes(n-1))
+		if err := s.Err(); err != nil {
+			t.Fatalf("tear@%d: after repairing refill: %v", k, err)
+		}
+		if got := segSize(t, s); got != offs[n] {
+			t.Fatalf("tear@%d: healed segment is %d bytes, want %d", k, got, offs[n])
+		}
+		if err := s.Close(); err != nil {
+			t.Fatalf("tear@%d: Close: %v", k, err)
+		}
+		s2 := openT(t, dir, testEngine)
+		wantCells(t, s2, seq(0, n), nil)
+		s2.Close()
+	}
+}
+
+// TestChaosEveryTruncationRecovers crashes the segment at every
+// possible length — byte 0 through the full file — and asserts open
+// recovers exactly the records fully contained in the surviving prefix,
+// with the torn bytes gone from disk.
+func TestChaosEveryTruncationRecovers(t *testing.T) {
+	const n = 4
+	offs, pristine := recordOffsets(t, n)
+	dir := t.TempDir()
+	s := openT(t, dir, testEngine)
+	path := s.Path()
+	s.Close()
+
+	for cut := int64(0); cut <= offs[n]; cut++ {
+		if err := os.WriteFile(path, pristine[:cut], 0o644); err != nil {
+			t.Fatalf("cut@%d: %v", cut, err)
+		}
+		kept := 0
+		for kept+1 <= n && offs[kept+1] <= cut {
+			kept++
+		}
+		if cut < offs[0] {
+			kept = 0 // partial header: the store resets wholesale
+		}
+		s := openT(t, dir, testEngine)
+		if s.Len() != kept {
+			t.Fatalf("cut@%d: Len = %d, want %d", cut, s.Len(), kept)
+		}
+		wantCells(t, s, seq(0, kept), seq(kept, n))
+		if got := segSize(t, s); got != offs[kept] {
+			t.Fatalf("cut@%d: recovered segment is %d bytes, want %d", cut, got, offs[kept])
+		}
+		if err := s.Close(); err != nil {
+			t.Fatalf("cut@%d: Close: %v", cut, err)
+		}
+	}
+}
+
+// TestChaosEveryByteFlipRecovers corrupts every single byte of the
+// segment in turn (a seeded xor mask per offset) and asserts recovery
+// lands on exactly the record prefix before the damage: a header flip
+// empties the store, a flip inside record j keeps records 0..j-1 and
+// drops the rest, and refilling heals completely.
+func TestChaosEveryByteFlipRecovers(t *testing.T) {
+	const n = 4
+	seed := chaosSeed(t)
+	rng := faults.NewSchedule(seed, faults.Plan{}) // seeded masks only
+	offs, pristine := recordOffsets(t, n)
+	dir := t.TempDir()
+	s := openT(t, dir, testEngine)
+	path := s.Path()
+	s.Close()
+
+	for off := int64(0); off < offs[n]; off++ {
+		mask := byte(rng.TearPoint(255) + 1) // seeded, never zero
+		blob := append([]byte(nil), pristine...)
+		blob[off] ^= mask
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			t.Fatalf("flip@%d: %v", off, err)
+		}
+		kept := 0
+		if off >= offs[0] {
+			for offs[kept+1] <= off {
+				kept++
+			}
+		}
+		s := openT(t, dir, testEngine)
+		if s.Len() != kept {
+			t.Fatalf("flip@%d mask %#x: Len = %d, want %d", off, mask, s.Len(), kept)
+		}
+		wantCells(t, s, seq(0, kept), seq(kept, n))
+		// Damaged cells re-simulate and refill; the store heals.
+		fillN(t, s, n)
+		if err := s.Close(); err != nil {
+			t.Fatalf("flip@%d: Close: %v", off, err)
+		}
+		s2 := openT(t, dir, testEngine)
+		if s2.Len() != n {
+			t.Fatalf("flip@%d: after heal: Len = %d, want %d", off, s2.Len(), n)
+		}
+		wantCells(t, s2, seq(0, n), nil)
+		s2.Close()
+	}
+}
+
+// armed passes every op through until armed: the store's own Open must
+// succeed (a faulted header write is a legitimate Open failure, not the
+// scenario under test), so the schedule only kicks in once the fills
+// start.
+type armed struct {
+	inner faults.Injector
+	on    atomic.Bool
+}
+
+func (a *armed) Decide(op faults.Op, n int) faults.Decision {
+	if !a.on.Load() {
+		return faults.Decision{}
+	}
+	return a.inner.Decide(op, n)
+}
+
+// TestChaosSeededWriteFaults runs a long fill sequence under a seeded
+// schedule of write errors, short writes, and fsync failures, and
+// asserts the global invariant: whatever the fault pattern, the
+// reopened store holds a subset of the filled cells with every value
+// intact, and a fault-free refill pass heals it to the complete set.
+func TestChaosSeededWriteFaults(t *testing.T) {
+	const n = 120
+	seed := chaosSeed(t)
+	sched := faults.NewSchedule(seed, faults.Plan{
+		WriteError: 0.15,
+		ShortWrite: 0.15,
+		SyncError:  0.10,
+	})
+	inj := &armed{inner: sched}
+	dir := t.TempDir()
+	s, err := Open(dir, testEngine,
+		WithFile(func(f File) File { return faults.NewFile(f, inj) }),
+		WithBreaker(3, 1, 1), // 1ns backoff: probes re-admit immediately
+	)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	inj.on.Store(true)
+	for i := 0; i < n; i++ {
+		s.Fill(cellKey(i), cellRes(i))
+	}
+	if sched.Injected() == 0 {
+		t.Fatal("schedule injected nothing: the fault seam is not wired")
+	}
+	s.Close() // may report the degraded circuit; reopen is the check
+
+	s2 := openT(t, dir, testEngine)
+	kept := 0
+	for i := 0; i < n; i++ {
+		res, ok := s2.Lookup(cellKey(i))
+		if !ok {
+			continue
+		}
+		if res != cellRes(i) {
+			t.Fatalf("cell %d: survived faults with wrong value %+v", i, res)
+		}
+		kept++
+	}
+	if s2.Len() != kept {
+		t.Fatalf("reopened store has %d cells, %d recognizable", s2.Len(), kept)
+	}
+	t.Logf("%d/%d cells survived %d injected faults", kept, n, sched.Injected())
+
+	// Fault-free refill: every dropped cell persists this time.
+	fillN(t, s2, n)
+	if err := s2.Close(); err != nil {
+		t.Fatalf("Close after heal: %v", err)
+	}
+	s3 := openT(t, dir, testEngine)
+	defer s3.Close()
+	if s3.Len() != n {
+		t.Fatalf("after heal: Len = %d, want %d", s3.Len(), n)
+	}
+	wantCells(t, s3, seq(0, n), nil)
+}

@@ -35,9 +35,22 @@
 //     from a crash mid-append, a payload failing its checksum or its
 //     key-hash check — and the file is truncated back to the last good
 //     record. The intact prefix is kept; the damaged suffix re-simulates.
-//   - A write error latches the store into a lookup-only state (Err
-//     reports it, Close returns it): misses simply stop being persisted
-//     rather than risking a half-written log.
+//   - Write errors trip a circuit breaker instead of latching the store
+//     broken forever: after a few consecutive failures the store
+//     degrades to lookup-only, then probes the disk again under
+//     exponential backoff and resumes persisting once a probe succeeds.
+//     Before any append after a failure, the segment is truncated back
+//     to the last fully written record, so a torn half-frame from the
+//     failure can never sit in the middle of the log. Err and Health
+//     surface the circuit state; Close reports it.
+//
+// # Fault injection
+//
+// Every file operation goes through the File interface, and Open's
+// WithFile option wraps the segment file — the seam the chaos suite
+// uses (internal/faults) to inject write errors, torn writes, and
+// fsync failures on a seeded schedule and assert the recovery story
+// above actually holds, byte for byte.
 package store
 
 import (
@@ -72,22 +85,62 @@ const maxPayload = 1 << 16
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
+// File is the file-operation surface the store drives — the subset of
+// *os.File it actually uses. internal/faults declares the same
+// interface structurally and wraps it with seeded fault injection; the
+// WithFile option is where a wrapped file slides in under the store.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	Truncate(size int64) error
+	Sync() error
+	Close() error
+}
+
 // Store is the disk-backed cell tier. It is safe for concurrent use;
 // the full index is kept in memory (one sweep's matrix is hundreds of
 // cells, a long-lived serving store maybe millions — both trivially
 // resident), so Lookup never touches the file. The zero value is not
 // usable; call Open.
 type Store struct {
-	mu     sync.RWMutex
-	f      *os.File
-	index  map[runner.Key]runner.CellResult
-	path   string
-	werr   error // first write error; latches the store lookup-only
-	closed bool
-	buf    []byte // record scratch buffer, reused under mu
+	mu       sync.RWMutex
+	f        File
+	index    map[runner.Key]runner.CellResult
+	path     string
+	br       *breaker
+	now      func() time.Time
+	goodOff  int64 // file offset just past the last fully written record
+	dirty    bool  // a failed write may have left bytes past goodOff
+	closed   bool
+	closeErr error  // Close's result, replayed on repeat calls
+	buf      []byte // record scratch buffer, reused under mu
 }
 
 var _ runner.Tier = (*Store)(nil)
+
+// Option configures a Store at Open.
+type Option func(*Store)
+
+// WithFile wraps the opened segment file before recovery runs. The
+// chaos suite uses it to interpose faults.FaultyFile; production code
+// has no reason to.
+func WithFile(wrap func(File) File) Option {
+	return func(s *Store) { s.f = wrap(s.f) }
+}
+
+// WithBreaker tunes the write-path circuit breaker: trip after
+// threshold consecutive failures, probe after base, backing off
+// exponentially up to max. Non-positive values keep the defaults.
+func WithBreaker(threshold int, base, max time.Duration) Option {
+	return func(s *Store) { s.br = newBreaker(threshold, base, max) }
+}
+
+// WithClock substitutes the breaker's time source, for tests that
+// drill the open → half-open → closed cycle without sleeping.
+func WithClock(now func() time.Time) Option {
+	return func(s *Store) { s.now = now }
+}
 
 // Open opens (creating if needed) the result store in dir, stamped with
 // the given engine version. Recovery is part of opening: a segment file
@@ -95,7 +148,7 @@ var _ runner.Tier = (*Store)(nil)
 // torn or corrupt tail is truncated back to the last intact record —
 // see the package comment. Open fails only on real IO errors
 // (permissions, not-a-directory), never on damaged contents.
-func Open(dir string, engineVersion uint64) (*Store, error) {
+func Open(dir string, engineVersion uint64, opts ...Option) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
@@ -104,9 +157,18 @@ func Open(dir string, engineVersion uint64) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	s := &Store{f: f, index: make(map[runner.Key]runner.CellResult), path: path}
+	s := &Store{
+		f:     f,
+		index: make(map[runner.Key]runner.CellResult),
+		path:  path,
+		br:    newBreaker(0, 0, 0),
+		now:   time.Now,
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
 	if err := s.load(engineVersion); err != nil {
-		f.Close()
+		s.f.Close()
 		return nil, err
 	}
 	return s, nil
@@ -143,6 +205,7 @@ func (s *Store) load(engineVersion uint64) error {
 	if _, err := s.f.Seek(int64(good), io.SeekStart); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
+	s.goodOff = int64(good)
 	return nil
 }
 
@@ -162,6 +225,7 @@ func (s *Store) reset(engineVersion uint64) error {
 	if _, err := s.f.Write(hdr); err != nil {
 		return fmt.Errorf("store: writing header: %w", err)
 	}
+	s.goodOff = int64(headerSize)
 	return nil
 }
 
@@ -188,18 +252,29 @@ func (s *Store) Lookup(key runner.Key) (runner.CellResult, bool) {
 }
 
 // Fill appends the cell to the segment and indexes it. It implements
-// runner.Tier: errors latch the store lookup-only (surfaced by Err and
-// Close) instead of propagating into the simulation path, and a key the
-// store already holds is not re-appended — cells are deterministic, so
-// the stored record is already the record.
+// runner.Tier: errors feed the circuit breaker (surfaced by Err,
+// Health, and Close) instead of propagating into the simulation path,
+// and a key the store already holds is not re-appended — cells are
+// deterministic, so the stored record is already the record.
 func (s *Store) Fill(key runner.Key, res runner.CellResult) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed || s.werr != nil {
+	if s.closed {
 		return
 	}
 	if _, ok := s.index[key]; ok {
 		return
+	}
+	if !s.br.allow(s.now()) {
+		return // circuit open: lookup-only until the backoff elapses
+	}
+	// A failed write may have left a torn half-frame past goodOff; cut
+	// it off before appending so the log stays a clean record sequence.
+	if s.dirty {
+		if err := s.repair(); err != nil {
+			s.br.fail(s.now(), fmt.Errorf("store: repairing %s: %w", s.path, err))
+			return
+		}
 	}
 	// One contiguous [len | payload | crc] frame, one Write call: a crash
 	// can tear the tail record but never interleave two.
@@ -207,12 +282,32 @@ func (s *Store) Fill(key runner.Key, res runner.CellResult) {
 	frame = appendPayload(frame, key, res)
 	binary.LittleEndian.PutUint32(frame, uint32(len(frame)-4))
 	frame = binary.LittleEndian.AppendUint32(frame, crc32.Checksum(frame[4:], crcTable))
-	if _, err := s.f.Write(frame); err != nil {
-		s.werr = fmt.Errorf("store: appending to %s: %w", s.path, err)
+	n, err := s.f.Write(frame)
+	s.buf = frame[:0]
+	if err == nil && n < len(frame) {
+		err = io.ErrShortWrite
+	}
+	if err != nil {
+		s.dirty = true
+		s.br.fail(s.now(), fmt.Errorf("store: appending to %s: %w", s.path, err))
 		return
 	}
-	s.buf = frame[:0]
+	s.goodOff += int64(len(frame))
+	s.br.ok()
 	s.index[key] = res
+}
+
+// repair truncates the segment back to the last fully written record
+// and repositions the write offset there. Called with mu held.
+func (s *Store) repair() error {
+	if err := s.f.Truncate(s.goodOff); err != nil {
+		return err
+	}
+	if _, err := s.f.Seek(s.goodOff, io.SeekStart); err != nil {
+		return err
+	}
+	s.dirty = false
+	return nil
 }
 
 // Len reports how many cells the store holds.
@@ -225,36 +320,45 @@ func (s *Store) Len() int {
 // Path returns the segment file's path.
 func (s *Store) Path() string { return s.path }
 
-// Err returns the first write error, if any. A store with a latched
-// write error still serves lookups; it just stops persisting new cells.
+// Err returns the last write error while the circuit is not closed,
+// and nil once the store has recovered (a successful probe clears it).
+// A store with an open circuit still serves lookups; it just is not
+// persisting new cells until a probe succeeds.
 func (s *Store) Err() error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.werr
+	if s.closed {
+		return s.closeErr
+	}
+	if s.br.open {
+		return s.br.err
+	}
+	return nil
 }
 
-// Close syncs and closes the segment file. It returns the first error
-// the store encountered — a latched write error from Fill, or the
-// sync/close itself. After Close, Fill is a no-op and Lookup still
-// answers from the in-memory index (a cache holding a closed tier keeps
-// working; it just stops gaining durability).
+// Close syncs and closes the segment file. It returns the circuit's
+// pending write error if the store closed while degraded, or the
+// sync/close error itself. After Close, Fill is a no-op and Lookup
+// still answers from the in-memory index (a cache holding a closed tier
+// keeps working; it just stops gaining durability).
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return s.werr
+		return s.closeErr
 	}
 	s.closed = true
-	err := s.werr
+	var err error
+	if s.br.open {
+		err = s.br.err
+	}
 	if serr := s.f.Sync(); err == nil && serr != nil {
 		err = fmt.Errorf("store: syncing %s: %w", s.path, serr)
 	}
 	if cerr := s.f.Close(); err == nil && cerr != nil {
 		err = fmt.Errorf("store: closing %s: %w", s.path, cerr)
 	}
-	if s.werr == nil {
-		s.werr = err
-	}
+	s.closeErr = err
 	return err
 }
 

@@ -149,69 +149,10 @@ func corrupt(t *testing.T, path string, off int64) {
 	}
 }
 
-func TestTornTailTruncatedOnOpen(t *testing.T) {
-	dir := t.TempDir()
-	s := openT(t, dir, testEngine)
-	fillN(t, s, 10)
-	full := segSize(t, s)
-	if err := s.Close(); err != nil {
-		t.Fatalf("Close: %v", err)
-	}
-
-	// Simulate a crash mid-append: chop the last record in half.
-	path := s.Path()
-	if err := os.Truncate(path, full-5); err != nil {
-		t.Fatalf("truncate: %v", err)
-	}
-
-	s2 := openT(t, dir, testEngine)
-	if s2.Len() != 9 {
-		t.Fatalf("after torn tail: Len = %d, want 9", s2.Len())
-	}
-	wantCells(t, s2, seq(0, 9), []int{9})
-
-	// The torn bytes must be gone from disk so new appends start clean.
-	fillN(t, s2, 10) // refills only cell 9
-	if err := s2.Close(); err != nil {
-		t.Fatalf("Close after refill: %v", err)
-	}
-	s3 := openT(t, dir, testEngine)
-	defer s3.Close()
-	wantCells(t, s3, seq(0, 10), nil)
-}
-
-func TestCorruptRecordDropsSuffix(t *testing.T) {
-	dir := t.TempDir()
-	s := openT(t, dir, testEngine)
-	fillN(t, s, 10)
-	full := segSize(t, s)
-	if err := s.Close(); err != nil {
-		t.Fatalf("Close: %v", err)
-	}
-
-	// Flip a byte somewhere in the middle: the prefix before the damaged
-	// record survives, everything from it on is dropped.
-	corrupt(t, s.Path(), int64(headerSize)+(full-int64(headerSize))/2)
-
-	s2 := openT(t, dir, testEngine)
-	kept := s2.Len()
-	if kept == 0 || kept >= 10 {
-		t.Fatalf("after mid-file corruption: Len = %d, want in (0,10)", kept)
-	}
-	wantCells(t, s2, seq(0, kept), seq(kept, 10))
-
-	// Damaged cells re-simulate and refill; the store heals completely.
-	fillN(t, s2, 10)
-	if err := s2.Close(); err != nil {
-		t.Fatalf("Close after refill: %v", err)
-	}
-	s3 := openT(t, dir, testEngine)
-	defer s3.Close()
-	if s3.Len() != 10 {
-		t.Fatalf("after heal: Len = %d, want 10", s3.Len())
-	}
-	wantCells(t, s3, seq(0, 10), nil)
-}
+// Torn tails and mid-file corruption are covered exhaustively by the
+// chaos property tests (chaos_test.go): every truncation length, every
+// single-byte flip, every short-write tear point. Only the header case
+// keeps a hand-written test, for its distinct reset-wholesale behavior.
 
 func TestCorruptHeaderEmptiesStore(t *testing.T) {
 	dir := t.TempDir()
