@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet examples toolbenchd-smoke chaos bench-smoke bench-baseline
+.PHONY: build test vet examples toolbenchd-smoke remote-smoke chaos bench-smoke bench-baseline
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,15 @@ toolbenchd-smoke:
 	$(GO) test -race ./internal/server
 	$(GO) test -race -short -run TestLoadManyConcurrentTenants -v ./internal/server
 
+# remote-smoke is the local mirror of CI's remote-smoke job: build the
+# coordinator and worker binaries, distribute a full sweep across two
+# spawned worker daemons and diff it against a serial run
+# (scripts/remote_smoke.sh), then run the remote-executor suite under
+# the race detector.
+remote-smoke:
+	./scripts/remote_smoke.sh
+	$(GO) test -race ./internal/remote
+
 # chaos is the local mirror of CI's chaos job: the seeded
 # fault-injection suite under the race detector, once with the pinned
 # -short seed and once with a fresh logged seed (reproduce a failure
@@ -41,9 +50,9 @@ bench-smoke:
 	$(GO) test -run=NoSuchTest -bench=. -benchtime=1x ./...
 	$(GO) test -run=NoSuchTest -bench='MemoContention|ShardedSweep' -benchtime=1x -cpu 4 ./internal/runner
 
-# bench-baseline records the current figure + store + engine +
-# scheduler benchmark numbers into BENCH_PR6.json under the "pr6"
-# label, carrying the seed/pr3/pr5 history forward (see
+# bench-baseline records the current figure + store + remote + engine
+# + scheduler benchmark numbers into BENCH_PR9.json under the "pr9"
+# label, carrying the seed/pr3/pr5/pr6 history forward (see
 # scripts/record_bench.sh).
 bench-baseline:
-	./scripts/record_bench.sh pr6
+	./scripts/record_bench.sh pr9

@@ -26,6 +26,12 @@
 //	             hash-sharded by cell key over a striped cache (0 =
 //	             single pool). Output stays byte-identical; only lock
 //	             contention changes, so it pays off at high -j.
+//	-workers a,b distribute the sweep across toolbench-worker daemons at
+//	             the given host:port addresses, routing each cell by its
+//	             content key (rendezvous hashing). Output stays
+//	             byte-identical to a local run — even if a worker dies
+//	             mid-sweep (its cells fail over to survivors). Conflicts
+//	             with -shards; -j bounds the in-flight RPCs.
 //	-progress    stream live figure/phase progress to stderr (one line
 //	             per table/figure starting and finishing). Stdout stays
 //	             byte-identical with and without it.
@@ -56,6 +62,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strings"
 	"sync"
 	"syscall"
 
@@ -82,6 +89,7 @@ type config struct {
 	format     string
 	jobs       int
 	shards     int
+	workers    string
 	progress   bool
 	store      string
 	stats      bool
@@ -109,6 +117,7 @@ func runIO(ctx context.Context, args []string, w, errw io.Writer) (err error) {
 	fs.StringVar(&cfg.format, "format", "text", `report rendering for report/all: "text" or "json"`)
 	fs.IntVar(&cfg.jobs, "j", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = serial)")
 	fs.IntVar(&cfg.shards, "shards", 0, "partition the workers into n hash-sharded pools (0 = single pool)")
+	fs.StringVar(&cfg.workers, "workers", "", "comma-separated toolbench-worker addresses to distribute the sweep across (host:port,host:port)")
 	fs.BoolVar(&cfg.progress, "progress", false, "stream live figure/phase progress to stderr")
 	fs.StringVar(&cfg.store, "store", "", "directory for the durable result store (a second run over an intact store re-simulates nothing)")
 	fs.BoolVar(&cfg.stats, "stats", false, "print cache hit/miss counters to stderr after the run")
@@ -122,6 +131,10 @@ func runIO(ctx context.Context, args []string, w, errw io.Writer) (err error) {
 	}
 	if cfg.shards < 0 {
 		return fmt.Errorf("-shards %d: need a non-negative shard count", cfg.shards)
+	}
+	nodes := splitNodes(cfg.workers)
+	if len(nodes) > 0 && cfg.shards > 0 {
+		return fmt.Errorf("-workers conflicts with -shards: the remote executor routes cells across daemons, sharding routes them across local pools — pick one")
 	}
 	if cfg.format != "text" && cfg.format != "json" {
 		return fmt.Errorf("-format %q: want text or json", cfg.format)
@@ -163,6 +176,9 @@ func runIO(ctx context.Context, args []string, w, errw io.Writer) (err error) {
 	if cfg.shards > 0 {
 		opts = append(opts, tooleval.WithShardedExecutor(cfg.shards))
 	}
+	if len(nodes) > 0 {
+		opts = append(opts, tooleval.WithRemoteExecutor(nodes...))
+	}
 	if cfg.progress {
 		opts = append(opts, tooleval.WithEvents(progressSink(errw)))
 	}
@@ -192,6 +208,13 @@ func runIO(ctx context.Context, args []string, w, errw io.Writer) (err error) {
 		defer func() {
 			hits, misses := sess.Stats()
 			fmt.Fprintf(errw, "toolbench: cache stats: hits=%d misses=%d\n", hits, misses)
+			if ns := sess.NodeStats(); len(ns) > 0 {
+				fmt.Fprintf(errw, "toolbench: workers:\n")
+				fmt.Fprintf(errw, "  %-28s %8s %10s %8s %8s  %s\n", "node", "sent", "completed", "retried", "ejected", "state")
+				for _, n := range ns {
+					fmt.Fprintf(errw, "  %-28s %8d %10d %8d %8d  %s\n", n.Node, n.Sent, n.Completed, n.Retried, n.Ejected, n.State)
+				}
+			}
 		}()
 	}
 	switch exp {
@@ -227,6 +250,18 @@ func runIO(ctx context.Context, args []string, w, errw io.Writer) (err error) {
 	default:
 		return runExperiment(ctx, sess, exp, cfg, w)
 	}
+}
+
+// splitNodes parses the -workers flag: comma-separated addresses,
+// blanks dropped.
+func splitNodes(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 // progressSink renders the session's typed event stream as live

@@ -7,12 +7,18 @@ import (
 	"errors"
 	"flag"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"tooleval"
+	"tooleval/internal/bench"
+	"tooleval/internal/remote"
+	"tooleval/internal/runner"
 )
 
 // -update regenerates the golden files instead of comparing against
@@ -104,6 +110,9 @@ var runArgsTable = []struct {
 	{"zero shards is single pool", []string{"-shards", "0", "-scale", "0.05", "fig4"}, false},
 	{"negative shards", []string{"-shards", "-2", "fig2"}, true},
 	{"non-numeric shards", []string{"-shards", "many", "fig2"}, true},
+	// Remote backend flag.
+	{"workers conflict with shards", []string{"-workers", "localhost:1", "-shards", "2", "fig2"}, true},
+	{"workers unreachable", []string{"-workers", "127.0.0.1:1", "-scale", "0.05", "fig2"}, true},
 	// Report format flag.
 	{"json report", []string{"-scale", "0.05", "-format", "json", "report"}, false},
 	{"json all", []string{"-scale", "0.05", "-format", "json", "all"}, false},
@@ -273,14 +282,47 @@ func TestProgressStreamsToStderrOnly(t *testing.T) {
 	}
 }
 
+// startTestWorker serves real simulation cells — the same handler
+// cmd/toolbench-worker runs — from an httptest server, optionally
+// behind mw (the chaos variant wraps a kill switch around it).
+func startTestWorker(t *testing.T, mw func(http.Handler) http.Handler) *httptest.Server {
+	t.Helper()
+	h := remote.NewWorker(runner.New(4), bench.ComputeCell).Handler()
+	if mw != nil {
+		h = mw(h)
+	}
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// killAfter returns middleware that lets n cell RPCs through, then
+// refuses every later one — a worker daemon dying mid-sweep.
+func killAfter(n int64) func(http.Handler) http.Handler {
+	var served atomic.Int64
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/v1/cells" && served.Add(1) > n {
+				http.Error(rw, "worker killed by test", http.StatusServiceUnavailable)
+				return
+			}
+			next.ServeHTTP(rw, r)
+		})
+	}
+}
+
 // TestAllOutputIdenticalAcrossParallelism is the CLI-level determinism
 // acceptance: a full `all` sweep must emit byte-identical stdout and
-// byte-identical .dat artifacts serially, at -j 8, and through the
-// sharded backend (-shards 4 -j 8).
+// byte-identical .dat artifacts serially, at -j 8, through the sharded
+// backend (-shards 4 -j 8), distributed across remote workers
+// (-workers), and distributed with one worker dying mid-sweep.
 func TestAllOutputIdenticalAcrossParallelism(t *testing.T) {
 	if testing.Short() {
-		t.Skip("three full small-scale sweeps")
+		t.Skip("five full small-scale sweeps")
 	}
+	w1 := startTestWorker(t, nil)
+	w2 := startTestWorker(t, nil)
+	doomed := startTestWorker(t, killAfter(5))
 	modes := []struct {
 		name string
 		args []string
@@ -288,6 +330,8 @@ func TestAllOutputIdenticalAcrossParallelism(t *testing.T) {
 		{"serial", []string{"-j", "1"}},
 		{"j8", []string{"-j", "8"}},
 		{"sharded", []string{"-shards", "4", "-j", "8"}},
+		{"remote", []string{"-j", "8", "-workers", w1.URL + "," + w2.URL}},
+		{"remote-chaos", []string{"-j", "8", "-workers", doomed.URL + "," + w1.URL + "," + w2.URL}},
 	}
 	outs := map[string]*bytes.Buffer{}
 	dirs := map[string]string{}

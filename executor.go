@@ -3,6 +3,7 @@ package tooleval
 import (
 	"time"
 
+	"tooleval/internal/remote"
 	"tooleval/internal/runner"
 )
 
@@ -80,6 +81,42 @@ func WithShardedExecutor(n int) Option {
 		}
 	}
 }
+
+// WithRemoteExecutor distributes the session's sweep across worker
+// daemons (`toolbench-worker`) at the given addresses ("host:port" or
+// http:// URLs). Each cell is routed to a worker by rendezvous-hashing
+// its content key — the same FNV hash that picks cache stripes and
+// shards — and the worker recomputes it from the key alone; cells are
+// pure functions of their keys, so a distributed sweep is
+// byte-identical to a local one. Memoization, the optional
+// [WithResultStore] tier, quota budgets, and event observers all stay
+// on the coordinator; [WithParallelism] bounds the in-flight RPCs.
+//
+// Worker loss is survived mid-sweep: a failing node's cells fail over
+// to the next node in their rendezvous order, and after a few
+// consecutive failures the node is ejected (a timed half-open probe
+// re-admits it once it recovers). [Session.NodeStats] reports the
+// per-node counters. A coordinator/worker engine- or protocol-version
+// mismatch fails the sweep with a [*RemoteVersionError] — never a
+// result computed under the wrong engine.
+//
+// Combining this option with [WithExecutor], [WithShardedExecutor], or
+// [WithTool] makes NewSession panic (custom tool factories exist only
+// in this process and cannot be evaluated remotely).
+func WithRemoteExecutor(nodes ...string) Option {
+	return func(c *sessionConfig) {
+		c.workers = append([]string(nil), nodes...)
+	}
+}
+
+// RemoteNodeStats is one worker's coordinator-side counter snapshot;
+// see [Session.NodeStats].
+type RemoteNodeStats = remote.NodeStats
+
+// RemoteVersionError is the typed refusal a [WithRemoteExecutor] sweep
+// fails with when a worker runs a different simulation-engine or
+// wire-protocol version; match it with errors.As.
+type RemoteVersionError = remote.VersionError
 
 // WithMaxCells caps how many cells the session may simulate. Cache
 // hits are free: only simulations actually executed are charged — each

@@ -2,10 +2,8 @@ package bench
 
 import (
 	"context"
-	"fmt"
 
 	"tooleval/internal/apps"
-	"tooleval/internal/mpt"
 	"tooleval/internal/platform"
 	"tooleval/internal/runner"
 )
@@ -58,26 +56,9 @@ func (h *Harness) RunAPL(ctx context.Context, pf platform.Platform, toolName, ap
 		}
 	}
 	times, err := runner.Collect(ctx, h.x, sweep, func(procs int) (float64, error) {
-		key := runner.Key{Platform: pf.Key, Tool: toolName, Bench: "apl/" + appName, Procs: procs, Scale: scale}
+		key := runner.Key{Platform: pf.Key, Tool: toolName, Bench: APLBenchPrefix + appName, Procs: procs, Scale: scale}
 		return h.x.Memo(ctx, key, func() (runner.CellResult, error) {
-			res, err := mpt.Run(pf, factory, mpt.RunConfig{Procs: procs}, func(c *mpt.Ctx) (any, error) {
-				return app.Run(c, scale)
-			})
-			if err != nil {
-				return runner.CellResult{}, fmt.Errorf("bench: %s/%s/%s procs=%d: %w", pf.Key, toolName, appName, procs, err)
-			}
-			if err := app.Verify(res.Value, procs, scale); err != nil {
-				return runner.CellResult{}, fmt.Errorf("bench: %s/%s/%s procs=%d verification: %w", pf.Key, toolName, appName, procs, err)
-			}
-			secs := res.Elapsed.Seconds()
-			// Applications that time an inner phase (the FFT excludes its
-			// verification-only scatter/gather) report it themselves.
-			if t, ok := res.Value.(interface{ InnerSeconds() (float64, bool) }); ok {
-				if inner, valid := t.InnerSeconds(); valid {
-					secs = inner
-				}
-			}
-			return runner.CellResult{Value: secs, Virtual: res.Elapsed}, nil
+			return computeApp(pf, toolName, factory, appName, app, procs, scale)
 		})
 	})
 	if err != nil {

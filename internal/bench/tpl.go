@@ -13,10 +13,7 @@ package bench
 
 import (
 	"context"
-	"fmt"
-	"time"
 
-	"tooleval/internal/mpt"
 	"tooleval/internal/platform"
 	"tooleval/internal/runner"
 )
@@ -57,37 +54,7 @@ func (h *Harness) PingPong(ctx context.Context, pf platform.Platform, toolName s
 	return runner.Collect(ctx, h.x, sizes, func(size int) (float64, error) {
 		key := runner.Key{Platform: pf.Key, Tool: toolName, Bench: "pingpong", Procs: 2, Size: size}
 		return h.x.Memo(ctx, key, func() (runner.CellResult, error) {
-			payload := testPayload(size)
-			res, err := mpt.Run(pf, factory, mpt.RunConfig{Procs: 2}, func(c *mpt.Ctx) (any, error) {
-				const tag = 1
-				if c.Rank() == 0 {
-					t0 := c.Now()
-					if err := c.Comm.Send(1, tag, payload); err != nil {
-						return nil, err
-					}
-					msg, err := c.Comm.Recv(1, tag)
-					if err != nil {
-						return nil, err
-					}
-					if len(msg.Data) != size {
-						return nil, fmt.Errorf("echo returned %d bytes, want %d", len(msg.Data), size)
-					}
-					return (c.Now() - t0).Milliseconds(), nil
-				}
-				msg, err := c.Comm.Recv(0, tag)
-				if err != nil {
-					return nil, err
-				}
-				return nil, c.Comm.Send(0, tag, msg.Data)
-			})
-			if err != nil {
-				return runner.CellResult{}, fmt.Errorf("ping-pong %s/%s size %d: %w", pf.Key, toolName, size, err)
-			}
-			ms, ok := res.Value.(float64)
-			if !ok {
-				return runner.CellResult{}, fmt.Errorf("ping-pong %s/%s: no timing value", pf.Key, toolName)
-			}
-			return runner.CellResult{Value: ms, Virtual: res.Elapsed}, nil
+			return computePingPong(pf, toolName, factory, size)
 		})
 	})
 }
@@ -103,25 +70,7 @@ func (h *Harness) Broadcast(ctx context.Context, pf platform.Platform, toolName 
 	return runner.Collect(ctx, h.x, sizes, func(size int) (float64, error) {
 		key := runner.Key{Platform: pf.Key, Tool: toolName, Bench: "broadcast", Procs: procs, Size: size}
 		return h.x.Memo(ctx, key, func() (runner.CellResult, error) {
-			payload := testPayload(size)
-			res, err := mpt.Run(pf, factory, mpt.RunConfig{Procs: procs}, func(c *mpt.Ctx) (any, error) {
-				var in []byte
-				if c.Rank() == 0 {
-					in = payload
-				}
-				got, err := c.Comm.Bcast(0, 2, in)
-				if err != nil {
-					return nil, err
-				}
-				if len(got) != size {
-					return nil, fmt.Errorf("bcast delivered %d bytes, want %d", len(got), size)
-				}
-				return nil, nil
-			})
-			if err != nil {
-				return runner.CellResult{}, fmt.Errorf("broadcast %s/%s size %d: %w", pf.Key, toolName, size, err)
-			}
-			return runner.CellResult{Value: float64(res.Elapsed) / float64(time.Millisecond), Virtual: res.Elapsed}, nil
+			return computeBroadcast(pf, toolName, factory, procs, size)
 		})
 	})
 }
@@ -140,27 +89,7 @@ func (h *Harness) Ring(ctx context.Context, pf platform.Platform, toolName strin
 	return runner.Collect(ctx, h.x, sizes, func(size int) (float64, error) {
 		key := runner.Key{Platform: pf.Key, Tool: toolName, Bench: "ring", Procs: procs, Size: size}
 		return h.x.Memo(ctx, key, func() (runner.CellResult, error) {
-			payload := testPayload(size)
-			res, err := mpt.Run(pf, factory, mpt.RunConfig{Procs: procs}, func(c *mpt.Ctx) (any, error) {
-				const tag = 3
-				next := (c.Rank() + 1) % c.Size()
-				prev := (c.Rank() + c.Size() - 1) % c.Size()
-				if err := c.Comm.Send(next, tag, payload); err != nil {
-					return nil, err
-				}
-				msg, err := c.Comm.Recv(prev, tag)
-				if err != nil {
-					return nil, err
-				}
-				if len(msg.Data) != size {
-					return nil, fmt.Errorf("ring returned %d bytes, want %d", len(msg.Data), size)
-				}
-				return nil, nil
-			})
-			if err != nil {
-				return runner.CellResult{}, fmt.Errorf("ring %s/%s size %d: %w", pf.Key, toolName, size, err)
-			}
-			return runner.CellResult{Value: float64(res.Elapsed) / float64(time.Millisecond), Virtual: res.Elapsed}, nil
+			return computeRing(pf, toolName, factory, procs, size)
 		})
 	})
 }
@@ -176,24 +105,7 @@ func (h *Harness) GlobalSum(ctx context.Context, pf platform.Platform, toolName 
 	return runner.Collect(ctx, h.x, vectorLens, func(n int) (float64, error) {
 		key := runner.Key{Platform: pf.Key, Tool: toolName, Bench: "globalsum", Procs: procs, Size: n}
 		return h.x.Memo(ctx, key, func() (runner.CellResult, error) {
-			res, err := mpt.Run(pf, factory, mpt.RunConfig{Procs: procs}, func(c *mpt.Ctx) (any, error) {
-				vec := make([]int64, n)
-				for i := range vec {
-					vec[i] = int64(c.Rank() + i)
-				}
-				sum, err := c.Comm.GlobalSumInt64(vec)
-				if err != nil {
-					return nil, err
-				}
-				if len(sum) != n {
-					return nil, fmt.Errorf("global sum returned %d elements, want %d", len(sum), n)
-				}
-				return nil, nil
-			})
-			if err != nil {
-				return runner.CellResult{}, fmt.Errorf("global sum %s/%s n=%d: %w", pf.Key, toolName, n, err)
-			}
-			return runner.CellResult{Value: float64(res.Elapsed) / float64(time.Millisecond), Virtual: res.Elapsed}, nil
+			return computeGlobalSum(pf, toolName, factory, procs, n)
 		})
 	})
 }

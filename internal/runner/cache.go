@@ -5,6 +5,7 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // entry is one memoized cell. done is closed once val/err are final, so
@@ -12,11 +13,15 @@ import (
 // is the entry's node in its stripe's recency list — always non-nil,
 // maintained even while the cache is unbounded so that SetCapacity can
 // start evicting in true LRU order at any point in the cache's life.
+// virtual is the cell's simulated wall-clock, retained so Lookup can
+// reconstruct the full CellResult (a remote worker re-serving a warm
+// cell must report the same virtual cost it would on a cold compute).
 type entry struct {
-	done chan struct{}
-	val  float64
-	err  error
-	el   *list.Element
+	done    chan struct{}
+	val     float64
+	virtual time.Duration
+	err     error
+	el      *list.Element
 }
 
 // stripe is one independently locked segment of a Cache: its own map,
@@ -262,6 +267,31 @@ func (s *stripe) remove(key Key, e *entry) {
 		s.order.Remove(e.el)
 	}
 	s.mu.Unlock()
+}
+
+// Lookup peeks at the completed, successful cell memoized for key. It
+// reports false for absent, in-flight, and failed entries, and does not
+// touch the hit/miss counters — it is a read-side peek for callers (a
+// worker daemon answering a cell RPC) that already resolved the cell
+// through Memo and need the full CellResult back, not a scheduling
+// primitive.
+func (c *Cache) Lookup(key Key) (CellResult, bool) {
+	st := c.stripeFor(key)
+	st.mu.Lock()
+	e, ok := st.lookupLocked(key)
+	st.mu.Unlock()
+	if !ok {
+		return CellResult{}, false
+	}
+	select {
+	case <-e.done:
+	default:
+		return CellResult{}, false
+	}
+	if e.err != nil {
+		return CellResult{}, false
+	}
+	return CellResult{Value: e.val, Virtual: e.virtual}, true
 }
 
 // Stats snapshots the cache counters.

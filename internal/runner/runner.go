@@ -319,7 +319,7 @@ func (r *Runner) memoOn(ctx context.Context, key Key, st *stripe, compute func()
 	tier := c.Tier()
 	if tier != nil {
 		if res, ok := tier.Lookup(key); ok {
-			e.val = res.Value
+			e.val, e.virtual = res.Value, res.Virtual
 			c.hits.Add(1)
 			<-r.sem
 			close(e.done)
@@ -365,7 +365,7 @@ func (r *Runner) memoOn(ctx context.Context, key Key, st *stripe, compute func()
 		r.notify(ctx, key, false, e.err)
 	}()
 	res, e.err = compute()
-	e.val = res.Value
+	e.val, e.virtual = res.Value, res.Virtual
 	return e.val, e.err
 }
 

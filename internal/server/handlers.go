@@ -8,8 +8,10 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"tooleval"
+	"tooleval/internal/sim"
 	"tooleval/internal/store"
 )
 
@@ -377,10 +379,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // statszWire is the GET /statsz body.
 type statszWire struct {
-	Draining bool                       `json:"draining"`
-	Cache    cacheStatsWire             `json:"cache"`
-	Store    *storeStatsWire            `json:"store,omitempty"`
-	Tenants  map[string]tenantStatsWire `json:"tenants"`
+	EngineVersion uint64                     `json:"engine_version"`
+	UptimeSeconds float64                    `json:"uptime_seconds"`
+	Draining      bool                       `json:"draining"`
+	Cache         cacheStatsWire             `json:"cache"`
+	Store         *storeStatsWire            `json:"store,omitempty"`
+	Tenants       map[string]tenantStatsWire `json:"tenants"`
 }
 
 type cacheStatsWire struct {
@@ -415,9 +419,11 @@ type tenantStatsWire struct {
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	cs := s.cache.Stats()
 	out := statszWire{
-		Draining: s.draining.Load(),
-		Cache:    cacheStatsWire{Hits: cs.Hits, Misses: cs.Misses, Cells: s.cache.Len()},
-		Tenants:  make(map[string]tenantStatsWire),
+		EngineVersion: sim.EngineVersion,
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Draining:      s.draining.Load(),
+		Cache:         cacheStatsWire{Hits: cs.Hits, Misses: cs.Misses, Cells: s.cache.Len()},
+		Tenants:       make(map[string]tenantStatsWire),
 	}
 	if s.store != nil {
 		sh := s.store.Health()

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tooleval"
 )
@@ -28,6 +29,7 @@ type Server struct {
 
 	tenants *registry
 	jobs    *jobStore
+	started time.Time // for /statsz uptime
 
 	// draining refuses new jobs and tenants while in-flight sweeps
 	// finish; hardCtx is cancelled when the drain deadline passes, so
@@ -54,7 +56,7 @@ func New(cfg Config) (*Server, error) {
 	if cfg.CacheCapacity > 0 {
 		cache.SetCapacity(cfg.CacheCapacity)
 	}
-	s := &Server{cfg: cfg, cache: cache}
+	s := &Server{cfg: cfg, cache: cache, started: time.Now()}
 	if cfg.StoreDir != "" {
 		open := cfg.OpenStore
 		if open == nil {

@@ -1,0 +1,10 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// lockFile is a no-op where flock(2) does not exist: the single-writer
+// guard degrades to the documented convention of one daemon per -store
+// directory.
+func lockFile(*os.File) error { return nil }

@@ -1,0 +1,26 @@
+//go:build unix
+
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockFile takes a non-blocking exclusive flock on the segment file.
+// flock locks belong to the open file description, so a second Open —
+// same process or another — conflicts either way, and closing the file
+// (Store.Close, or the error paths in Open) releases the lock with no
+// separate bookkeeping.
+func lockFile(f *os.File) error {
+	err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, syscall.EWOULDBLOCK) || errors.Is(err, syscall.EAGAIN) {
+		return ErrLocked
+	}
+	return fmt.Errorf("flock: %w", err)
+}

@@ -1,0 +1,42 @@
+package store
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// The single-writer guard: a second Open on the same segment directory
+// must fail fast with the typed sentinel — two daemons appending to one
+// log would interleave records — and closing the first store releases
+// the lock for a successor.
+func TestOpenSingleWriterGuard(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir, 1)
+	if err != nil {
+		t.Fatalf("first Open: %v", err)
+	}
+
+	s2, err := Open(dir, 1)
+	if err == nil {
+		s2.Close()
+		t.Fatal("second Open succeeded; want ErrLocked")
+	}
+	if !errors.Is(err, ErrLocked) {
+		t.Fatalf("second Open error = %v, want errors.Is ErrLocked", err)
+	}
+	if !strings.Contains(err.Error(), "already open") {
+		t.Fatalf("second Open error %q does not explain the conflict", err)
+	}
+
+	if err := s1.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	s3, err := Open(dir, 1)
+	if err != nil {
+		t.Fatalf("re-Open after Close: %v", err)
+	}
+	if err := s3.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}

@@ -55,6 +55,7 @@ package store
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -84,6 +85,11 @@ const headerSize = len(magic) + 4 + 8 // magic | schema u32 | engine u64
 const maxPayload = 1 << 16
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrLocked is the sentinel under every "segment already open"
+// failure: another store (in this process or another) holds the
+// exclusive lock on the segment file. Match with errors.Is.
+var ErrLocked = errors.New("store: segment locked by another store")
 
 // File is the file-operation surface the store drives — the subset of
 // *os.File it actually uses. internal/faults declares the same
@@ -156,6 +162,19 @@ func Open(dir string, engineVersion uint64, opts ...Option) (*Store, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
+	}
+	// Single-writer guard: take an exclusive advisory lock on the
+	// segment before anything reads or writes it. Two daemons appending
+	// to one log would interleave records into garbage both would then
+	// "recover" by truncating each other's cells — fail the second open
+	// fast and loudly instead. The lock lives on the file description
+	// and is released when the store closes.
+	if err := lockFile(f); err != nil {
+		f.Close()
+		if errors.Is(err, ErrLocked) {
+			return nil, fmt.Errorf("store: %s is already open in another process (the segment file allows one writer; give each daemon its own -store directory): %w", dir, err)
+		}
+		return nil, fmt.Errorf("store: locking %s: %w", path, err)
 	}
 	s := &Store{
 		f:     f,

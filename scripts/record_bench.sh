@@ -8,8 +8,9 @@
 # simulates instead of replaying the memoization cache).
 #
 # Labels seed..pr3 maintain the PR 3 ledger BENCH_PR3.json; pr5 writes
-# BENCH_PR5.json seeded from the PR 3 ledger; the pr6 label (and
-# anything after it) writes BENCH_PR6.json, seeded from the PR 5
+# BENCH_PR5.json seeded from the PR 3 ledger; pr6 writes
+# BENCH_PR6.json seeded from the PR 5 ledger; the pr9 label (and
+# anything after it) writes BENCH_PR9.json, seeded from the PR 6
 # ledger — each file carries the full seed..prN progression.
 #
 # The contention benchmarks run at -cpu 4 so the serial/pooled/sharded
@@ -36,16 +37,22 @@ pr5)
 		cp BENCH_PR3.json "$out"
 	fi
 	;;
-*)
+pr6)
 	out="BENCH_PR6.json"
 	if [ ! -f "$out" ] && [ -f BENCH_PR5.json ]; then
 		cp BENCH_PR5.json "$out"
 	fi
 	;;
+*)
+	out="BENCH_PR9.json"
+	if [ ! -f "$out" ] && [ -f BENCH_PR6.json ]; then
+		cp BENCH_PR6.json "$out"
+	fi
+	;;
 esac
 
-echo "record_bench: figure + store benchmarks (-benchtime=1x)" >&2
-go test -run=NoSuchTest -bench='Table|Fig|ADL|Store' -benchmem -benchtime=1x . >"$tmp"
+echo "record_bench: figure + store + remote benchmarks (-benchtime=1x)" >&2
+go test -run=NoSuchTest -bench='Table|Fig|ADL|Store|Remote' -benchmem -benchtime=1x . >"$tmp"
 echo "record_bench: sim microbenchmarks (-benchtime=$count)" >&2
 go test -run=NoSuchTest -bench=. -benchmem -benchtime="$count" ./internal/sim >>"$tmp"
 echo "record_bench: scheduler contention benchmarks (-cpu 4)" >&2

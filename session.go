@@ -10,6 +10,7 @@ import (
 	"tooleval/internal/core"
 	"tooleval/internal/mpt"
 	"tooleval/internal/platform"
+	"tooleval/internal/remote"
 	"tooleval/internal/runner"
 	"tooleval/internal/sim"
 	"tooleval/internal/store"
@@ -74,7 +75,8 @@ type Session struct {
 	h           *bench.Harness
 	parallelism int
 	sinks       []func(Event)
-	store       *store.Store // owned durable tier (WithResultStore), nil otherwise
+	store       *store.Store   // owned durable tier (WithResultStore), nil otherwise
+	remote      *remote.Remote // distributed backend (WithRemoteExecutor), nil otherwise
 	closeOnce   sync.Once
 	closeErr    error
 }
@@ -90,6 +92,7 @@ type sessionConfig struct {
 	executor    Executor
 	limits      runner.Limits
 	storeDir    string
+	workers     []string // worker daemon addresses (WithRemoteExecutor)
 }
 
 // Option configures a Session under construction.
@@ -179,6 +182,9 @@ func NewSession(opts ...Option) *Session {
 		if cfg.shards > 0 {
 			panic("tooleval: WithShardedExecutor conflicts with WithExecutor — they both pick the execution backend")
 		}
+		if len(cfg.workers) > 0 {
+			panic("tooleval: WithRemoteExecutor conflicts with WithExecutor — they both pick the execution backend")
+		}
 		if cfg.storeDir != "" {
 			panic("tooleval: WithResultStore conflicts with WithExecutor — the executor owns its cache; open the store with OpenResultStore and attach it to the executor's cache via SetTier instead")
 		}
@@ -188,9 +194,19 @@ func NewSession(opts ...Option) *Session {
 			x.Cache().SetCapacity(cfg.cacheCap)
 		}
 	case cfg.shards > 0:
+		if len(cfg.workers) > 0 {
+			panic("tooleval: WithRemoteExecutor conflicts with WithShardedExecutor — they both pick the execution backend")
+		}
 		x = runner.NewSharded(cfg.shards, shardWorkers(cfg.parallelism, cfg.shards), cfg.runnerOptions()...)
 	default:
 		x = runner.New(cfg.parallelism, cfg.runnerOptions()...)
+	}
+	if len(cfg.workers) > 0 && len(cfg.tools) > 0 {
+		// A custom factory exists only in this process's registry; a
+		// worker daemon handed the key alone cannot reconstruct it, so a
+		// remote sweep would deterministically fail every custom-tool
+		// cell. Refuse the configuration up front instead.
+		panic("tooleval: WithRemoteExecutor conflicts with WithTool — custom tool factories cannot be evaluated on remote workers")
 	}
 	var durable *store.Store
 	if cfg.storeDir != "" {
@@ -209,6 +225,24 @@ func NewSession(opts ...Option) *Session {
 		x.Cache().SetTier(durable)
 	}
 	x = runner.NewQuota(x, cfg.limits)
+	// The remote layer goes on the outside, so its dispatch closure runs
+	// through the quota wrapper underneath: budgets are checked and
+	// charged on the coordinator (with the virtual cost the worker
+	// reports), exactly as for a local sweep. Cache, durable tier, and
+	// observer likewise all live in the inner executor — the workers only
+	// ever see cell keys.
+	var rem *remote.Remote
+	if len(cfg.workers) > 0 {
+		var err error
+		rem, err = remote.New(cfg.workers, x)
+		if err != nil {
+			if durable != nil {
+				durable.Close()
+			}
+			panic(fmt.Sprintf("tooleval: WithRemoteExecutor: %v", err))
+		}
+		x = rem
+	}
 	var custom map[string]mpt.Factory
 	if len(cfg.tools) > 0 {
 		custom = make(map[string]mpt.Factory, len(cfg.tools))
@@ -221,6 +255,7 @@ func NewSession(opts ...Option) *Session {
 		parallelism: x.Workers(),
 		sinks:       cfg.sinks,
 		store:       durable,
+		remote:      rem,
 	}
 	// The observer and hooks are always installed: even with no
 	// WithEvents sinks, a caller may attach a per-batch sink to a
@@ -332,6 +367,18 @@ func (s *Session) Stats() (hits, misses int64) {
 // Cache returns the session's memoization cache (shared or private),
 // for handing to another session via WithCache.
 func (s *Session) Cache() *Cache { return s.h.Executor().Cache() }
+
+// NodeStats reports the per-worker coordinator counters of a
+// [WithRemoteExecutor] session — RPCs sent, completed, retried onto
+// this node after another failed, breaker ejections, and the current
+// admission state — in configuration order. Sessions without a remote
+// backend return nil.
+func (s *Session) NodeStats() []RemoteNodeStats {
+	if s.remote == nil {
+		return nil
+	}
+	return s.remote.NodeStats()
+}
 
 // Tools lists every tool name this session resolves: the built-ins,
 // then custom registrations in sorted order.
