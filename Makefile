@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: build test vet examples toolbenchd-smoke remote-smoke chaos bench-smoke bench-baseline
+# Staticcheck is pinned so CI results cannot drift as new checks land
+# upstream; bump deliberately, together with any burn-down the new
+# version requires.
+STATICCHECK_VERSION ?= 2025.1.1
+
+.PHONY: build test vet toolvet lint examples toolbenchd-smoke remote-smoke chaos bench-smoke bench-baseline
 
 build:
 	$(GO) build ./...
@@ -10,6 +15,23 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# toolvet is the repo's own analyzer suite (internal/lint): the
+# determinism and error-contract invariants — no wall-clock in
+# simulation paths, no map iteration feeding output, errors.As/Is over
+# bare assertions, bounded goroutine fan-out — machine-checked. Runs
+# from the module, so analyzer and code versions move together.
+toolvet:
+	$(GO) run ./cmd/toolvet ./...
+
+# lint is the full static gate: vet + toolvet + staticcheck (the last
+# only when installed — the pinned version is what CI enforces).
+lint: vet toolvet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI pins honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
+	fi
 
 # examples builds and smoke-runs every examples/ program — the local
 # mirror of CI's examples job.

@@ -1,0 +1,16 @@
+// Toolvet machine-checks the repository's determinism and
+// error-contract invariants: no wall-clock in simulation paths, no map
+// iteration feeding output, errors.As/Is over bare assertions, bounded
+// goroutine fan-out. Run `go run ./cmd/toolvet ./...` (or `make lint`);
+// CI gates merges on a clean exit.
+package main
+
+import (
+	"os"
+
+	"tooleval/internal/lint"
+)
+
+func main() {
+	os.Exit(lint.Main(os.Args[1:], os.Stdout, os.Stderr, lint.Analyzers()))
+}

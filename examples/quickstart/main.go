@@ -5,6 +5,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 
@@ -55,7 +56,7 @@ func sumAcross(c *tooleval.Ctx, local []float64) ([]float64, error) {
 	if err == nil {
 		return out, nil
 	}
-	if err != tooleval.ErrNotSupported {
+	if !errors.Is(err, tooleval.ErrNotSupported) {
 		return nil, err
 	}
 	// PVM has no global operation (Table 1) — gather by hand like a 1995

@@ -53,6 +53,7 @@ func main() {
 	errs := make(chan error, len(tenants))
 	for _, t := range tenants {
 		t := t
+		//toolvet:ignore boundedgo one goroutine per fixed demo tenant (two), not data-sized fan-out
 		go func() {
 			ev, err := t.sess.Evaluate(ctx, profile, scale)
 			if err == nil {

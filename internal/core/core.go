@@ -12,6 +12,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 )
 
 // Level identifies one evaluation perspective.
@@ -121,8 +122,17 @@ func (w WeightProfile) Validate() error {
 	if len(w.Levels) == 0 {
 		return fmt.Errorf("core: profile %q has no level weights", w.Name)
 	}
+	// Sum in sorted-key order: float addition is not associative, so
+	// summing in (randomized) map order would let the ±1e-9 acceptance
+	// band flip between runs for profiles near the boundary.
+	levels := make([]Level, 0, len(w.Levels))
+	for l := range w.Levels {
+		levels = append(levels, l)
+	}
+	sort.Slice(levels, func(i, j int) bool { return levels[i] < levels[j] })
 	sum := 0.0
-	for l, v := range w.Levels {
+	for _, l := range levels {
+		v := w.Levels[l]
 		if v < 0 {
 			return fmt.Errorf("core: profile %q: negative weight %f for %s", w.Name, v, l)
 		}

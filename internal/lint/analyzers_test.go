@@ -1,0 +1,80 @@
+package lint_test
+
+import (
+	"testing"
+
+	"tooleval/internal/lint"
+	"tooleval/internal/lint/linttest"
+)
+
+// TestDetWallTime pins the wall-clock/randomness/identity contract:
+// time.Now, time.Since, timer construction, global math/rand draws and
+// os.Getpid flag inside a critical package; seeded sources, duration
+// arithmetic, and suppressed sites do not.
+func TestDetWallTime(t *testing.T) {
+	a := lint.NewDetWallTime()
+	set(t, a, "critical", "detcrit")
+	linttest.Run(t, a, "testdata/detcrit")
+}
+
+// TestDetWallTimeAllowlist pins the daemon-uptime escape hatch: an
+// allowlisted pkg:Recv.Func call site is exempt, the same call
+// elsewhere is not.
+func TestDetWallTimeAllowlist(t *testing.T) {
+	a := lint.NewDetWallTime()
+	set(t, a, "critical", "detallow")
+	set(t, a, "allow", "detallow:Daemon.uptime")
+	linttest.Run(t, a, "testdata/detallow")
+}
+
+// TestDetWallTimeNonCritical pins the scoping: outside the critical
+// set, the same package is silent — the daemons keep their wall clocks.
+func TestDetWallTimeNonCritical(t *testing.T) {
+	a := lint.NewDetWallTime() // default critical set; "detcrit" is not in it
+	pkg, err := lint.LoadDir("testdata/detcrit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Check(a, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("non-critical package produced %d findings, want 0; first: %+v", len(diags), diags[0])
+	}
+}
+
+// TestSortedRange pins the PR 2 bug family: float accumulation,
+// writer/hash emission, and collect-without-sort flag; integer sums,
+// keyed writes, sorted collects, and loop-local scratch do not.
+func TestSortedRange(t *testing.T) {
+	linttest.Run(t, lint.NewSortedRange(), "testdata/srange")
+}
+
+// TestErrAsType pins the PR 6 bug family: assertions, type switches and
+// == on typed/sentinel errors flag; errors.As/Is, nil checks and
+// concrete uses do not.
+func TestErrAsType(t *testing.T) {
+	linttest.Run(t, lint.NewErrAsType(), "testdata/errcase")
+}
+
+// TestBoundedGo pins the PR 6 fan-out family: per-item and per-index
+// spawns flag (including acquire-inside-goroutine, which bounds work
+// but not goroutines); worker pools, min-capped counted loops,
+// constant bounds, and acquire-before-spawn do not.
+func TestBoundedGo(t *testing.T) {
+	linttest.Run(t, lint.NewBoundedGo(), "testdata/bgo")
+}
+
+// TestIgnoreDirectiveValidation pins that malformed or misspelled
+// suppressions are findings themselves and suppress nothing.
+func TestIgnoreDirectiveValidation(t *testing.T) {
+	linttest.Run(t, lint.NewErrAsType(), "testdata/badignore")
+}
+
+func set(t *testing.T, a *lint.Analyzer, name, value string) {
+	t.Helper()
+	if err := a.Flags.Set(name, value); err != nil {
+		t.Fatalf("setting -%s.%s=%s: %v", a.Name, name, value, err)
+	}
+}

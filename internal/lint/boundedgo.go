@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// NewBoundedGo builds the boundedgo analyzer: a `go` statement inside a
+// loop is a goroutine-per-item fan-out unless something visibly bounds
+// it. PR 6's Map spawned one goroutine per sweep index — thousands of
+// runnable goroutines for a bound of eight workers — and the fix
+// (a counted worker loop drawing indices from a shared atomic counter)
+// is precisely the shape this analyzer recognizes as legal.
+//
+// A `go` statement lexically inside a for/range statement (in the same
+// function literal) is flagged unless one of the bounded idioms holds:
+//
+//   - worker-pool loop: a counted loop (`for i := 0; i < bound; i++` or
+//     `for range bound`) whose bound is a compile-time constant or an
+//     identifier named like a concurrency bound (worker, parallel,
+//     shard, stripe, pool, conc, cpu, thread, slot, sem, limit) — the
+//     loop count is the concurrency, not the data size.
+//   - semaphore acquire: a channel send or receive executed in the loop
+//     body before the `go` statement (outside the spawned function) —
+//     `sem <- struct{}{}` / `<-tokens` gate each spawn.
+//
+// Intentional data-sized fan-out (e.g. one producer goroutine per
+// submitted spec, each parked on its own buffered slot) is suppressed
+// with //toolvet:ignore boundedgo <reason>.
+func NewBoundedGo() *Analyzer {
+	a := &Analyzer{
+		Name: "boundedgo",
+		Doc:  "forbid unbounded goroutine-per-item fan-out in loops without a worker-pool or semaphore idiom",
+	}
+	a.Run = func(pass *Pass) error {
+		inspectWithStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			loop := enclosingLoop(stack)
+			if loop == nil {
+				return true
+			}
+			if boundedCountedLoop(pass, loop) || semaphoreBefore(loop, gs) {
+				return true
+			}
+			pass.Reportf(gs.Pos(), "goroutine started per iteration of an unbounded loop: bound the fan-out with a worker pool or a semaphore acquired before go (PR 6 Map bug shape)")
+			return true
+		})
+		return nil
+	}
+	return a
+}
+
+// enclosingLoop returns the innermost for/range statement containing
+// the go statement within the same function; crossing a function
+// literal boundary means the loop (if any) spawns nothing directly.
+func enclosingLoop(stack []ast.Node) ast.Stmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.ForStmt:
+			return n
+		case *ast.RangeStmt:
+			return n
+		case *ast.FuncLit, *ast.FuncDecl:
+			return nil
+		}
+	}
+	return nil
+}
+
+// boundedCountedLoop recognizes the worker-pool shape: the loop count
+// is a concurrency bound, not the size of the incoming data.
+func boundedCountedLoop(pass *Pass, loop ast.Stmt) bool {
+	switch l := loop.(type) {
+	case *ast.ForStmt:
+		bin, ok := l.Cond.(*ast.BinaryExpr)
+		if !ok || (bin.Op != token.LSS && bin.Op != token.LEQ) {
+			return false
+		}
+		return boundExpr(pass, bin.Y)
+	case *ast.RangeStmt:
+		// Go 1.22 `for range n` over an integer.
+		if t := pass.TypeOf(l.X); t != nil {
+			if basic, ok := t.Underlying().(*types.Basic); ok && basic.Info()&types.IsInteger != 0 {
+				return boundExpr(pass, l.X)
+			}
+		}
+	}
+	return false
+}
+
+// boundExpr reports whether e reads as a concurrency bound: a constant,
+// or a name that says it is one.
+func boundExpr(pass *Pass, e ast.Expr) bool {
+	if tv, ok := pass.Info.Types[e]; ok && tv.Value != nil {
+		return true // compile-time constant bound
+	}
+	var name string
+	switch e := e.(type) {
+	case *ast.Ident:
+		name = e.Name
+	case *ast.SelectorExpr:
+		name = e.Sel.Name
+	case *ast.CallExpr:
+		// min(workers, n) and friends: any bound-named argument bounds
+		// the result.
+		for _, arg := range e.Args {
+			if boundExpr(pass, arg) {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+	name = strings.ToLower(name)
+	for _, marker := range []string{"worker", "parallel", "shard", "stripe", "pool", "conc", "cpu", "thread", "slot", "sem", "limit"} {
+		if strings.Contains(name, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// semaphoreBefore reports whether a channel operation gates the spawn:
+// a send or receive in the loop body, positioned before the go
+// statement and not inside the spawned function literal (blocking
+// inside the goroutine still admits unbounded goroutines — the PR 6
+// failure mode — so it does not count).
+func semaphoreBefore(loop ast.Stmt, gs *ast.GoStmt) bool {
+	var body *ast.BlockStmt
+	switch l := loop.(type) {
+	case *ast.ForStmt:
+		body = l.Body
+	case *ast.RangeStmt:
+		body = l.Body
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil || found {
+			return false
+		}
+		if n == ast.Node(gs) {
+			return false // don't descend into the spawned function
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if n.End() <= gs.Pos() {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && n.End() <= gs.Pos() {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"path/filepath"
+)
+
+// Main is the toolvet multichecker: load every package matching the
+// argument patterns (default ./...), run the analyzer suite, apply
+// //toolvet:ignore suppressions, and print surviving findings sorted by
+// position. Exit status: 0 clean, 1 findings, 2 usage or load failure.
+// cmd/toolvet is a two-line wrapper over this so the analysis logic is
+// testable in-process.
+func Main(args []string, stdout, stderr io.Writer, analyzers []*Analyzer) int {
+	fs := flag.NewFlagSet("toolvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("C", ".", "directory to run in (module root)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: toolvet [flags] [packages]\n\nAnalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(stderr, "\nSuppress a finding with `//toolvet:ignore <analyzer> <reason>` on the flagged line or the line above.\n\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	known := map[string]bool{"toolvet": true}
+	for _, a := range analyzers {
+		known[a.Name] = true
+		a.Flags.VisitAll(func(f *flag.Flag) {
+			fs.Var(f.Value, a.Name+"."+f.Name, f.Usage)
+		})
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	pkgs, err := Load(*dir, fs.Args())
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	findings := 0
+	for _, pkg := range pkgs {
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			ds, err := runAnalyzer(a, pkg)
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 2
+			}
+			diags = append(diags, ds...)
+		}
+		diags = applySuppressions(pkg, diags, known)
+		for _, d := range diags {
+			findings++
+			fmt.Fprintf(stdout, "%s:%d:%d: %s (%s)\n", relPath(*dir, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(stderr, "toolvet: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}
+
+func relPath(dir, path string) string {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return path
+	}
+	rel, err := filepath.Rel(abs, path)
+	if err != nil || len(rel) > len(path) {
+		return path
+	}
+	return rel
+}

@@ -1,0 +1,122 @@
+package lint_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tooleval/internal/lint"
+)
+
+// TestToolvetCleanOverTree is the smoke test behind the CI gate: the
+// full suite over the whole module must exit 0. A regression here means
+// either new code broke an invariant or an analyzer grew a false
+// positive — both block merges, which is the point.
+func TestToolvetCleanOverTree(t *testing.T) {
+	root := moduleRoot(t)
+	var stdout, stderr bytes.Buffer
+	code := lint.Main([]string{"-C", root, "./..."}, &stdout, &stderr, lint.Analyzers())
+	if code != 0 {
+		t.Fatalf("toolvet over %s exited %d\nstdout:\n%s\nstderr:\n%s", root, code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("clean run printed findings:\n%s", stdout.String())
+	}
+}
+
+// TestMainReportsFindings pins the driver contract end to end on a
+// scratch module: findings print as path:line:col with the analyzer
+// name, and the exit status is 1 so CI fails the merge.
+func TestMainReportsFindings(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "go.mod"), "module scratch\n\ngo 1.23\n")
+	write(t, filepath.Join(dir, "scratch.go"), `package scratch
+
+import "errors"
+
+var ErrNope = errors.New("nope")
+
+func check(err error) bool {
+	return err == ErrNope
+}
+
+func fan(jobs []int) {
+	for range jobs {
+		go func() {}()
+	}
+}
+`)
+	var stdout, stderr bytes.Buffer
+	code := lint.Main([]string{"-C", dir, "./..."}, &stdout, &stderr, lint.Analyzers())
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	for _, wantLine := range []string{
+		"scratch.go:8:9: comparing error with == ErrNope",
+		"(errastype)",
+		"scratch.go:13:3: goroutine started per iteration",
+		"(boundedgo)",
+	} {
+		if !strings.Contains(out, wantLine) {
+			t.Errorf("output missing %q:\n%s", wantLine, out)
+		}
+	}
+	if !strings.Contains(stderr.String(), "2 finding(s)") {
+		t.Errorf("stderr missing finding count: %s", stderr.String())
+	}
+}
+
+// TestMainSuppressionsApply pins that an ignore directive with a reason
+// flips the same module to exit 0.
+func TestMainSuppressionsApply(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "go.mod"), "module scratch\n\ngo 1.23\n")
+	write(t, filepath.Join(dir, "scratch.go"), `package scratch
+
+import "errors"
+
+var ErrNope = errors.New("nope")
+
+func check(err error) bool {
+	//toolvet:ignore errastype identity latch; never wrapped
+	return err == ErrNope
+}
+`)
+	var stdout, stderr bytes.Buffer
+	if code := lint.Main([]string{"-C", dir, "./..."}, &stdout, &stderr, lint.Analyzers()); code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+}
+
+// TestMainUnknownFlag pins usage errors to exit 2, distinct from
+// findings.
+func TestMainUnknownFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := lint.Main([]string{"-no-such-flag"}, &stdout, &stderr, lint.Analyzers()); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		t.Fatal("not in a module")
+	}
+	return filepath.Dir(gomod)
+}
+
+func write(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

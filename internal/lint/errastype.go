@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NewErrAsType builds the errastype analyzer: typed errors in this repo
+// (*tooleval.QuotaError, *remote.RemoteVersionError, sentinels like
+// store.ErrLocked) cross API layers wrapped — fmt.Errorf("%w"),
+// errors.Join, context plumbing — so matching them structurally is the
+// contract. A bare type assertion or == comparison silently stops
+// matching the moment anyone adds a wrapping layer; that is exactly how
+// PR 6's quota observer missed wrapped *QuotaError refusals.
+//
+// Flagged:
+//
+//   - err.(*SomeError) where err has static type error and *SomeError
+//     implements error → use errors.As.
+//   - switch err.(type) cases naming error implementations → errors.As.
+//   - err == ErrSentinel / err != ErrSentinel against a package-level
+//     error variable → use errors.Is. (Comparisons with nil stay legal:
+//     nil-ness is the success contract, not an identity match.)
+func NewErrAsType() *Analyzer {
+	a := &Analyzer{
+		Name: "errastype",
+		Doc:  "require errors.As/errors.Is over type assertions, type switches, and == on error values",
+	}
+	a.Run = func(pass *Pass) error {
+		errType := types.Universe.Lookup("error").Type()
+		errIface := errType.Underlying().(*types.Interface)
+		inspectWithStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.TypeAssertExpr:
+				if n.Type == nil {
+					return true // type-switch guard; handled below
+				}
+				if !isErrorExpr(pass, errType, n.X) {
+					return true
+				}
+				if t := pass.TypeOf(n.Type); t != nil && types.Implements(t, errIface) {
+					pass.Reportf(n.Pos(), "type assertion on error value: a wrapped %s never matches; use errors.As", types.TypeString(t, types.RelativeTo(pass.Pkg)))
+				}
+			case *ast.TypeSwitchStmt:
+				checkErrorTypeSwitch(pass, errType, errIface, n)
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				checkSentinelCompare(pass, errType, errIface, n)
+			}
+			return true
+		})
+		return nil
+	}
+	return a
+}
+
+func checkErrorTypeSwitch(pass *Pass, errType types.Type, errIface *types.Interface, sw *ast.TypeSwitchStmt) {
+	var x ast.Expr
+	switch s := sw.Assign.(type) {
+	case *ast.ExprStmt:
+		x = s.X.(*ast.TypeAssertExpr).X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			if ta, ok := s.Rhs[0].(*ast.TypeAssertExpr); ok {
+				x = ta.X
+			}
+		}
+	}
+	if x == nil || !isErrorExpr(pass, errType, x) {
+		return
+	}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, texpr := range cc.List {
+			if id, ok := texpr.(*ast.Ident); ok && id.Name == "nil" {
+				continue
+			}
+			if t := pass.TypeOf(texpr); t != nil && types.Implements(t, errIface) {
+				pass.Reportf(texpr.Pos(), "type switch case %s on error value: a wrapped error never matches; use errors.As", types.TypeString(t, types.RelativeTo(pass.Pkg)))
+			}
+		}
+	}
+}
+
+func checkSentinelCompare(pass *Pass, errType types.Type, errIface *types.Interface, bin *ast.BinaryExpr) {
+	for _, pair := range [2][2]ast.Expr{{bin.X, bin.Y}, {bin.Y, bin.X}} {
+		errSide, sentSide := pair[0], pair[1]
+		if !isErrorExpr(pass, errType, errSide) {
+			continue
+		}
+		obj := exprObject(pass, sentSide)
+		v, ok := obj.(*types.Var)
+		if !ok || v.Parent() == nil || v.Parent().Parent() != types.Universe {
+			continue // not a package-level variable
+		}
+		if !types.Implements(v.Type(), errIface) {
+			continue
+		}
+		pass.Reportf(bin.Pos(), "comparing error with %s %s: a wrapped sentinel never compares equal; use errors.Is", bin.Op, v.Name())
+		return
+	}
+}
+
+// isErrorExpr reports whether e's static type is exactly the
+// predeclared error interface. Concrete-typed expressions (where the
+// dynamic type is known) are excluded: asserting or comparing those is
+// exact by construction.
+func isErrorExpr(pass *Pass, errType types.Type, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	return t != nil && types.Identical(t, errType)
+}
+
+func exprObject(pass *Pass, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return pass.ObjectOf(e)
+	case *ast.SelectorExpr:
+		return pass.ObjectOf(e.Sel)
+	}
+	return nil
+}

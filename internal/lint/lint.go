@@ -1,0 +1,203 @@
+// Package lint is toolvet's analysis framework: a small, dependency-free
+// re-statement of the golang.org/x/tools/go/analysis surface, built
+// directly on go/ast and go/types so the checker ships inside the module
+// and moves in lockstep with the code it guards.
+//
+// The analyzers encode this repository's determinism and error-contract
+// invariants — the bug families the project has actually shipped — as
+// machine-checkable rules:
+//
+//   - detwalltime: no wall-clock or unseeded randomness inside
+//     determinism-critical packages (the virtual clock is the only time
+//     source a simulation may observe).
+//   - sortedrange: no map iteration feeding an io.Writer, a float
+//     accumulator, or a later-emitted slice without an intervening sort
+//     (the PR 2 overall-score nondeterminism).
+//   - errastype: errors.As / errors.Is instead of bare type assertions,
+//     type switches, or == on typed and sentinel errors (the PR 6
+//     *QuotaError observer miss).
+//   - boundedgo: no unbounded goroutine-per-item fan-out in loops
+//     without a worker-pool or semaphore idiom (the PR 6 Map explosion).
+//
+// A finding is suppressed by a directive comment on the flagged line or
+// the line directly above it:
+//
+//	//toolvet:ignore <analyzer>[,<analyzer>] <reason>
+//
+// The reason is mandatory; a directive without one is itself reported.
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer is one named invariant check. Mirrors the
+// x/tools/go/analysis shape so the checks port mechanically if the repo
+// ever takes the real dependency.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //toolvet:ignore directives.
+	Name string
+	// Doc is the one-paragraph contract the analyzer enforces.
+	Doc string
+	// Flags holds analyzer-specific configuration; the driver exposes
+	// each flag as -<name>.<flag>.
+	Flags flag.FlagSet
+	// Run reports findings for one package through pass.Report.
+	Run func(pass *Pass) error
+}
+
+// A Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	report func(Diagnostic)
+}
+
+// A Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf is shorthand for the type of an expression, nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// ObjectOf resolves an identifier to its object, nil if unknown.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object { return p.Info.ObjectOf(id) }
+
+// Analyzers returns a fresh instance of the full toolvet suite. Fresh:
+// analyzer flags are mutable configuration, so shared singletons would
+// let one caller's Set leak into another's run.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		NewDetWallTime(),
+		NewSortedRange(),
+		NewErrAsType(),
+		NewBoundedGo(),
+	}
+}
+
+// Check runs one analyzer over one loaded package and returns its
+// findings after //toolvet:ignore suppression — the single-analyzer
+// slice of what the driver does, exported for linttest.
+func Check(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	diags, err := runAnalyzer(a, pkg)
+	if err != nil {
+		return nil, err
+	}
+	return applySuppressions(pkg, diags, map[string]bool{a.Name: true, "toolvet": true}), nil
+}
+
+// runAnalyzer applies a to pkg and returns its findings sorted by
+// position. Analyzer output order must itself be deterministic — the
+// tool that checks determinism cannot be flaky.
+func runAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+		report:   func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// inspectWithStack walks every file calling fn with the node and the
+// stack of its ancestors (outermost first, n excluded). Returning false
+// from fn prunes the subtree.
+func inspectWithStack(files []*ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			descend := fn(n, stack)
+			if descend {
+				stack = append(stack, n)
+			}
+			return descend
+		})
+	}
+}
+
+// enclosingFuncName names the innermost function declaration on the
+// stack as it appears in allowlists: "Func" for package functions,
+// "Recv.Method" for methods (pointer receivers spelled without the
+// star). Empty outside any declaration.
+func enclosingFuncName(stack []ast.Node) string {
+	for i := len(stack) - 1; i >= 0; i-- {
+		fd, ok := stack[i].(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		name := fd.Name.Name
+		if fd.Recv != nil && len(fd.Recv.List) == 1 {
+			if recv := recvTypeName(fd.Recv.List[0].Type); recv != "" {
+				name = recv + "." + name
+			}
+		}
+		return name
+	}
+	return ""
+}
+
+func recvTypeName(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.StarExpr:
+		return recvTypeName(t.X)
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr: // generic receiver
+		return recvTypeName(t.X)
+	case *ast.IndexListExpr:
+		return recvTypeName(t.X)
+	}
+	return ""
+}

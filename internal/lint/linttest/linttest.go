@@ -1,0 +1,113 @@
+// Package linttest runs toolvet analyzers over testdata fixtures and
+// checks their findings against expectations written in the fixtures
+// themselves — the analysistest idiom, restated on the in-module
+// framework:
+//
+//	sum += v // want `floating-point accumulation`
+//
+// Each `// want` comment holds one or more double-quoted regular
+// expressions; every expression must match a distinct finding reported
+// on that line, every finding must be claimed by an expectation, and
+// suppressed findings must not surface at all.
+package linttest
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"tooleval/internal/lint"
+)
+
+// Run loads the fixture directory, applies the analyzer, and reports
+// any divergence between findings and `// want` expectations as test
+// errors.
+func Run(t *testing.T, a *lint.Analyzer, dir string) {
+	t.Helper()
+	pkg, err := lint.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := lint.Check(a, pkg)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	wants := collectWants(t, pkg)
+
+	type lineKey struct {
+		file string
+		line int
+	}
+	unclaimed := map[lineKey][]lint.Diagnostic{}
+	for _, d := range diags {
+		k := lineKey{d.Pos.Filename, d.Pos.Line}
+		unclaimed[k] = append(unclaimed[k], d)
+	}
+	for _, w := range wants {
+		k := lineKey{w.file, w.line}
+		matched := false
+		for i, d := range unclaimed[k] {
+			if w.re.MatchString(d.Message) {
+				unclaimed[k] = append(unclaimed[k][:i], unclaimed[k][i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+	for _, ds := range unclaimed {
+		for _, d := range ds {
+			t.Errorf("%s:%d: unexpected finding: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Message, d.Analyzer)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// wantRE matches expectations in line comments and in block comments
+// (block form lets an expectation share a line with an ignore
+// directive without becoming part of the directive's reason).
+var wantRE = regexp.MustCompile(`^/[/*]\s*want\s+(.*)`)
+var quotedRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"` + "|`[^`]*`")
+
+func collectWants(t *testing.T, pkg *lint.Package) []want {
+	t.Helper()
+	var wants []want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range quotedRE.FindAllString(m[1], -1) {
+					pat, err := unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					wants = append(wants, want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func unquote(q string) (string, error) {
+	if strings.HasPrefix(q, "`") {
+		return strings.Trim(q, "`"), nil
+	}
+	return strconv.Unquote(q)
+}

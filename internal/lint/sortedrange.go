@@ -1,0 +1,259 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// NewSortedRange builds the sortedrange analyzer: iteration order over a
+// Go map is deliberately randomized, so a `range` over a map may not
+// feed anything order-sensitive. This is the PR 2 bug family — overall
+// scores drifted in the last float bits because level weights were
+// accumulated in map order — and the same shape corrupts any io.Writer
+// emission or later-emitted slice.
+//
+// Flagged inside a `range` over a map:
+//
+//   - emission: calls to fmt.Print*/Fprint* or to methods named
+//     Write/WriteString/WriteByte/WriteRune (io.Writer, bytes.Buffer,
+//     hash.Hash — a hash is just an accumulator with a digest).
+//   - floating-point accumulation: `sum += v` (or -=, *=, /=, or
+//     `sum = sum + v`) into a float variable declared outside the loop.
+//     Float addition is not associative; iteration order leaks into the
+//     low bits. Integer accumulation is exact and therefore legal.
+//   - append to a slice (or field) declared outside the loop with no
+//     subsequent sort of that slice in the enclosing function. The
+//     sanctioned idiom — collect keys, sort, range the sorted slice —
+//     passes because the sort call follows the loop.
+func NewSortedRange() *Analyzer {
+	a := &Analyzer{
+		Name: "sortedrange",
+		Doc:  "forbid map iteration feeding writers, float accumulators, or unsorted later-emitted slices",
+	}
+	a.Run = func(pass *Pass) error {
+		inspectWithStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok || rng.X == nil {
+				return true
+			}
+			t := pass.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRange(pass, rng, stack)
+			return true
+		})
+		return nil
+	}
+	return a
+}
+
+func checkMapRange(pass *Pass, rng *ast.RangeStmt, stack []ast.Node) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name, ok := emissionCall(pass, n); ok {
+				pass.Reportf(n.Pos(), "%s inside range over map: iteration order is random; sort the keys and range the sorted slice", name)
+			}
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, rng, stack, n)
+		}
+		return true
+	})
+}
+
+func checkMapRangeAssign(pass *Pass, rng *ast.RangeStmt, stack []ast.Node, as *ast.AssignStmt) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return
+	}
+	lhs, rhs := as.Lhs[0], as.Rhs[0]
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		if isFloatAccumulator(pass, rng, lhs) {
+			pass.Reportf(as.Pos(), "floating-point accumulation in map iteration order: float addition is not associative, so the result depends on the (randomized) order; sort the keys first")
+		}
+	case token.ASSIGN:
+		// x = x + v spelled out.
+		if bin, ok := rhs.(*ast.BinaryExpr); ok && (bin.Op == token.ADD || bin.Op == token.SUB || bin.Op == token.MUL || bin.Op == token.QUO) {
+			if sameObjectExpr(pass, lhs, bin.X) || sameObjectExpr(pass, lhs, bin.Y) {
+				if isFloatAccumulator(pass, rng, lhs) {
+					pass.Reportf(as.Pos(), "floating-point accumulation in map iteration order: float addition is not associative, so the result depends on the (randomized) order; sort the keys first")
+					return
+				}
+			}
+		}
+		checkAppendTarget(pass, rng, stack, lhs, rhs)
+	}
+}
+
+func checkAppendTarget(pass *Pass, rng *ast.RangeStmt, stack []ast.Node, lhs, rhs ast.Expr) {
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok || !isBuiltinAppend(pass, call) {
+		return
+	}
+	base := baseIdent(lhs)
+	if base == nil {
+		return
+	}
+	obj := pass.ObjectOf(base)
+	if obj == nil || insideNode(rng, obj.Pos()) {
+		return // loop-local scratch; its order dies with the iteration
+	}
+	target := types.ExprString(lhs)
+	if sortedAfter(pass, rng, stack, target) {
+		return
+	}
+	pass.Reportf(call.Pos(), "append to %s in map iteration order with no later sort in this function: the slice inherits the map's randomized order; sort %s after the loop (or range over sorted keys)", target, target)
+}
+
+// emissionCall reports whether call writes bytes somewhere
+// order-sensitive: fmt's Print/Fprint families, or a Write* method (an
+// io.Writer, a bytes.Buffer, a hash — all accumulate in call order).
+func emissionCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	obj := pass.ObjectOf(sel.Sel)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return "", false
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+			(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+			return "fmt." + fn.Name(), true
+		}
+		return "", false
+	}
+	switch fn.Name() {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		return types.ExprString(sel.X) + "." + fn.Name(), true
+	}
+	return "", false
+}
+
+func isFloatAccumulator(pass *Pass, rng *ast.RangeStmt, lhs ast.Expr) bool {
+	id, ok := lhs.(*ast.Ident)
+	if !ok {
+		return false // keyed writes (m[k] += v) hit each key once; order-free
+	}
+	obj := pass.ObjectOf(id)
+	if obj == nil || insideNode(rng, obj.Pos()) {
+		return false
+	}
+	basic, ok := obj.Type().Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+func sameObjectExpr(pass *Pass, a, b ast.Expr) bool {
+	ia, ok1 := a.(*ast.Ident)
+	ib, ok2 := b.(*ast.Ident)
+	if !ok1 || !ok2 {
+		return false
+	}
+	oa, ob := pass.ObjectOf(ia), pass.ObjectOf(ib)
+	return oa != nil && oa == ob
+}
+
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isBuiltin := pass.ObjectOf(id).(*types.Builtin)
+	return isBuiltin && id.Name == "append"
+}
+
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func insideNode(n ast.Node, pos token.Pos) bool {
+	return pos >= n.Pos() && pos < n.End()
+}
+
+// sortedAfter reports whether a sort/slices call naming target appears
+// after the range statement, in any statement list enclosing it up to
+// the function boundary.
+func sortedAfter(pass *Pass, rng *ast.RangeStmt, stack []ast.Node, target string) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		var stmts []ast.Stmt
+		switch b := stack[i].(type) {
+		case *ast.BlockStmt:
+			stmts = b.List
+		case *ast.CaseClause:
+			stmts = b.Body
+		case *ast.CommClause:
+			stmts = b.Body
+		case *ast.FuncDecl, *ast.FuncLit:
+			return false
+		default:
+			continue
+		}
+		for _, st := range stmts {
+			if st.Pos() <= rng.End() {
+				continue
+			}
+			found := false
+			ast.Inspect(st, func(n ast.Node) bool {
+				if found {
+					return false
+				}
+				if call, ok := n.(*ast.CallExpr); ok && isSortCall(pass, call, target) {
+					found = true
+				}
+				return !found
+			})
+			if found {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isSortCall(pass *Pass, call *ast.CallExpr, target string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "sort", "slices":
+	default:
+		return false
+	}
+	if !strings.HasPrefix(fn.Name(), "Sort") && !strings.HasPrefix(fn.Name(), "Slice") &&
+		fn.Name() != "Strings" && fn.Name() != "Ints" && fn.Name() != "Float64s" && fn.Name() != "Stable" {
+		return false
+	}
+	for _, arg := range call.Args {
+		if types.ExprString(arg) == target {
+			return true
+		}
+	}
+	return false
+}

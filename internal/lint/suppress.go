@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression directive:
+//
+//	//toolvet:ignore <analyzer>[,<analyzer>] <reason>
+//
+// placed on the flagged line or the line directly above it. The reason
+// is mandatory — a suppression that cannot say why it exists is a
+// finding, not an exemption.
+const ignorePrefix = "//toolvet:ignore"
+
+// directive is one parsed //toolvet:ignore comment.
+type directive struct {
+	analyzers map[string]bool
+	line      int
+}
+
+// directiveIndex maps file name → line → directives on that line.
+type directiveIndex map[string]map[int][]directive
+
+// indexDirectives scans every comment in every file for suppression
+// directives. Malformed directives (no analyzer list or no reason) are
+// returned as diagnostics in their own right so they cannot silently
+// suppress nothing — or worse, look like they suppress something.
+func indexDirectives(fset *token.FileSet, files []*ast.File, known map[string]bool) (directiveIndex, []Diagnostic) {
+	idx := directiveIndex{}
+	var bad []Diagnostic
+	report := func(pos token.Pos, msg string) {
+		bad = append(bad, Diagnostic{Analyzer: "toolvet", Pos: fset.Position(pos), Message: msg})
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					report(c.Pos(), "malformed toolvet:ignore: missing analyzer name and reason")
+					continue
+				}
+				if len(fields) < 2 {
+					report(c.Pos(), "malformed toolvet:ignore: a reason is required after the analyzer name")
+					continue
+				}
+				names := map[string]bool{}
+				ok := true
+				for _, name := range strings.Split(fields[0], ",") {
+					if name == "" || (known != nil && !known[name]) {
+						report(c.Pos(), fmt.Sprintf("toolvet:ignore names unknown analyzer %q", name))
+						ok = false
+						break
+					}
+					names[name] = true
+				}
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if idx[pos.Filename] == nil {
+					idx[pos.Filename] = map[int][]directive{}
+				}
+				idx[pos.Filename][pos.Line] = append(idx[pos.Filename][pos.Line], directive{analyzers: names, line: pos.Line})
+			}
+		}
+	}
+	return idx, bad
+}
+
+// suppressed reports whether d is covered by a directive on its own
+// line or the line directly above.
+func (idx directiveIndex) suppressed(d Diagnostic) bool {
+	lines := idx[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, ln := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, dir := range lines[ln] {
+			if dir.analyzers[d.Analyzer] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// applySuppressions drops suppressed diagnostics and appends any
+// malformed-directive findings.
+func applySuppressions(pkg *Package, diags []Diagnostic, known map[string]bool) []Diagnostic {
+	idx, bad := indexDirectives(pkg.Fset, pkg.Files, known)
+	out := diags[:0]
+	for _, d := range diags {
+		if !idx.suppressed(d) {
+			out = append(out, d)
+		}
+	}
+	out = append(out, bad...)
+	sortDiagnostics(out)
+	return out
+}

@@ -1,0 +1,29 @@
+// Package badignore exercises directive validation: a suppression that
+// cannot say what it suppresses or why is itself a finding — otherwise
+// a typo'd ignore would silently suppress nothing while looking load-
+// bearing in review. (The want expectations ride in block comments so
+// they can share the directive's line without becoming its reason.)
+package badignore
+
+import "errors"
+
+var ErrGone = errors.New("gone")
+
+// missingReason: the directive names an analyzer but gives no reason,
+// so it reports itself and suppresses nothing.
+func missingReason(err error) bool {
+	/* want `malformed toolvet:ignore: a reason is required after the analyzer name` */ //toolvet:ignore errastype
+	return err == ErrGone // want `comparing error with == ErrGone`
+}
+
+// unknownName: the directive names an analyzer that does not exist.
+func unknownName(err error) bool {
+	/* want `toolvet:ignore names unknown analyzer "errastypo"` */ //toolvet:ignore errastypo fat-fingered the analyzer name
+	return err == ErrGone // want `comparing error with == ErrGone`
+}
+
+// bareDirective has neither name nor reason.
+func bareDirective(err error) bool {
+	/* want `malformed toolvet:ignore: missing analyzer name and reason` */ //toolvet:ignore
+	return err == ErrGone // want `comparing error with == ErrGone`
+}

@@ -1,0 +1,23 @@
+// Package detallow is the detwalltime allowlist fixture: the test
+// marks this package critical but allows the call site
+// "detallow:Daemon.uptime" — the daemon-uptime shape the allowlist
+// exists for. The same call outside the allowed function still flags.
+package detallow
+
+import "time"
+
+type Daemon struct{ started time.Time }
+
+// uptime is on the allowlist: wall-clock by design, like /statsz.
+func (d *Daemon) uptime() time.Duration {
+	return time.Since(d.started)
+}
+
+// elapsed is not on the allowlist.
+func (d *Daemon) elapsed() time.Duration {
+	return time.Since(d.started) // want `time\.Since in determinism-critical package`
+}
+
+func now() time.Time {
+	return time.Now() // want `time\.Now in determinism-critical package`
+}

@@ -1,0 +1,62 @@
+// Package detcrit is a detwalltime fixture: a stand-in for a
+// determinism-critical package (the test sets -detwalltime.critical to
+// this package's path). Virtual time and seeded randomness are legal;
+// the host clock, the global generator, and process identity are not.
+package detcrit
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// wallClock is the classic leak: measuring a simulated phase with the
+// host clock.
+func wallClock() time.Duration {
+	start := time.Now() // want `time\.Now in determinism-critical package`
+	work()
+	return time.Since(start) // want `time\.Since in determinism-critical package`
+}
+
+// deadline schedules against the host clock.
+func deadline(t time.Time) {
+	_ = time.Until(t)           // want `time\.Until in determinism-critical package`
+	<-time.After(time.Second)   // want `time\.After in determinism-critical package`
+	_ = time.NewTimer(1)        // want `time\.NewTimer in determinism-critical package`
+	_ = time.NewTicker(1)       // want `time\.NewTicker in determinism-critical package`
+	time.AfterFunc(1, func() {}) // want `time\.AfterFunc in determinism-critical package`
+}
+
+// globalRand draws from the process-global, unseeded generator — the
+// same cell evaluated twice gives two different workloads.
+func globalRand() int {
+	rand.Shuffle(3, func(i, j int) {}) // want `rand\.Shuffle in determinism-critical package`
+	return rand.Intn(10)               // want `rand\.Intn in determinism-critical package`
+}
+
+// identity leaks the process id into results.
+func identity() int {
+	return os.Getpid() // want `os\.Getpid in determinism-critical package`
+}
+
+// seededRand is the sanctioned idiom: a per-rank source seeded from the
+// cell key. Constructors and methods on *rand.Rand are legal.
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// virtualTime manipulates time.Duration and time.Time values without
+// observing the host clock — values are data; only the clock is banned.
+func virtualTime(now time.Time, d time.Duration) time.Time {
+	return now.Add(d * 2)
+}
+
+// suppressed shows the escape hatch: wall-clock on purpose, with the
+// reason on record.
+func suppressed() time.Time {
+	//toolvet:ignore detwalltime calibration fixture: comparing host and virtual clocks is the point here
+	return time.Now()
+}
+
+func work() {}

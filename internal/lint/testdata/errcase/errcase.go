@@ -1,0 +1,106 @@
+// Package errcase is an errastype fixture: the PR 6 bug family. Typed
+// errors travel wrapped (fmt.Errorf %w, errors.Join), so bare type
+// assertions, type switches, and == comparisons silently stop matching
+// the moment a wrapping layer appears.
+package errcase
+
+import (
+	"errors"
+	"fmt"
+)
+
+// QuotaError mirrors tooleval.QuotaError.
+type QuotaError struct{ Resource string }
+
+func (e *QuotaError) Error() string { return "quota exceeded: " + e.Resource }
+
+// ErrLocked mirrors store.ErrLocked.
+var ErrLocked = errors.New("store locked by another process")
+
+// assertBare is the exact PR 6 observer miss: a wrapped *QuotaError
+// never matches the assertion.
+func assertBare(err error) bool {
+	_, ok := err.(*QuotaError) // want `type assertion on error value: a wrapped \*QuotaError never matches; use errors\.As`
+	return ok
+}
+
+// switchBare is the same miss spelled as a type switch.
+func switchBare(err error) string {
+	switch err.(type) {
+	case *QuotaError: // want `type switch case \*QuotaError on error value: a wrapped error never matches; use errors\.As`
+		return "quota"
+	case nil:
+		return "ok"
+	default:
+		return "other"
+	}
+}
+
+// switchAssigned is the `switch e := err.(type)` spelling.
+func switchAssigned(err error) string {
+	switch e := err.(type) {
+	case *QuotaError: // want `type switch case \*QuotaError on error value`
+		return e.Resource
+	default:
+		return ""
+	}
+}
+
+// compareSentinel: wrapping breaks identity.
+func compareSentinel(err error) bool {
+	return err == ErrLocked // want `comparing error with == ErrLocked: a wrapped sentinel never compares equal; use errors\.Is`
+}
+
+// compareSentinelNeq is the negated spelling of the same bug.
+func compareSentinelNeq(err error) error {
+	if err != ErrLocked { // want `comparing error with != ErrLocked`
+		return err
+	}
+	return nil
+}
+
+// useAs is the contract: structural matching survives wrapping.
+func useAs(err error) (string, bool) {
+	var q *QuotaError
+	if errors.As(err, &q) {
+		return q.Resource, true
+	}
+	return "", false
+}
+
+// useIs is the sentinel contract.
+func useIs(err error) bool {
+	return errors.Is(err, ErrLocked)
+}
+
+// nilChecks stay legal: nil-ness is the success contract, not an
+// identity match against a sentinel.
+func nilChecks(err error) bool {
+	return err == nil || wrap(err) != nil
+}
+
+// nonErrorAssert asserts to an interface that does not implement
+// error — outside this analyzer's contract.
+func nonErrorAssert(err error) bool {
+	_, ok := err.(interface{ Timeout() bool })
+	return ok
+}
+
+// localCompare compares two locals — no sentinel involved.
+func localCompare(a, b error) bool {
+	return a == b
+}
+
+// concreteUse touches the concrete type directly; nothing is asserted.
+func concreteUse(q *QuotaError) string {
+	return q.Resource
+}
+
+// suppressed: identity comparison on purpose (e.g. a latch that stores
+// the exact error instance it handed out), reason on record.
+func suppressed(err error) bool {
+	//toolvet:ignore errastype latch compares the exact instance it stored; wrapping cannot occur here
+	return err == ErrLocked
+}
+
+func wrap(err error) error { return fmt.Errorf("wrapped: %w", err) }

@@ -1,0 +1,137 @@
+// Package srange is a sortedrange fixture: map iteration feeding
+// order-sensitive sinks. The positive cases mirror the PR 2 bug — float
+// accumulation of level weights in map order — and the emission and
+// collect-without-sort variants of the same family.
+package srange
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"sort"
+)
+
+// floatAccumulate is the PR 2 overall-score bug shape: float addition
+// is not associative, so the sum depends on iteration order.
+func floatAccumulate(weights map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range weights {
+		sum += v // want `floating-point accumulation in map iteration order`
+	}
+	return sum
+}
+
+// floatSpelledOut is the same bug without the compound operator.
+func floatSpelledOut(weights map[string]float64) float64 {
+	total := 0.0
+	for _, v := range weights {
+		total = total + v // want `floating-point accumulation in map iteration order`
+	}
+	return total
+}
+
+// emit writes rows in map order: two runs, two outputs.
+func emit(w io.Writer, scores map[string]int) {
+	for name, s := range scores {
+		fmt.Fprintf(w, "%s=%d\n", name, s) // want `fmt\.Fprintf inside range over map`
+	}
+}
+
+// emitStdout is the CLI variant of the same leak.
+func emitStdout(scores map[string]int) {
+	for name := range scores {
+		fmt.Println(name) // want `fmt\.Println inside range over map`
+		fmt.Fprint(os.Stdout, name) // want `fmt\.Fprint inside range over map`
+	}
+}
+
+// accumulateBuffer feeds a buffer — an accumulator is a writer that
+// remembers.
+func accumulateBuffer(scores map[string]int) string {
+	var buf bytes.Buffer
+	for name := range scores {
+		buf.WriteString(name) // want `buf\.WriteString inside range over map`
+	}
+	return buf.String()
+}
+
+// feedHash digests in map order: the fingerprint of identical content
+// differs run to run.
+func feedHash(cells map[string][]byte) uint64 {
+	h := fnv.New64a()
+	for _, b := range cells {
+		h.Write(b) // want `h\.Write inside range over map`
+	}
+	return h.Sum64()
+}
+
+// collectUnsorted hands the map's randomized order to the caller.
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys in map iteration order with no later sort`
+	}
+	return keys
+}
+
+// collectSorted is the sanctioned idiom: collect, sort, then use.
+func collectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// fieldSorted collects into a field and sorts it — rankings.go's shape.
+type ranking struct{ Tools []string }
+
+func fieldSorted(m map[string]float64) ranking {
+	var r ranking
+	for t := range m {
+		r.Tools = append(r.Tools, t)
+	}
+	sort.Slice(r.Tools, func(i, j int) bool { return r.Tools[i] < r.Tools[j] })
+	return r
+}
+
+// intAccumulate is exact arithmetic: order-free, legal.
+func intAccumulate(counts map[string]int) int {
+	n := 0
+	for _, v := range counts {
+		n += v
+	}
+	return n
+}
+
+// keyedWrites hit each key exactly once — no order dependence.
+func keyedWrites(in map[string]float64) map[string]float64 {
+	out := map[string]float64{}
+	for k, v := range in {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// localScratch dies with the iteration; its order cannot escape.
+func localScratch(m map[string][]int) int {
+	worst := 0
+	for _, row := range m {
+		var local []int
+		local = append(local, row...)
+		if len(local) > worst {
+			worst = len(local)
+		}
+	}
+	return worst
+}
+
+// suppressed: emission in map order on purpose, reason on record.
+func suppressed(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) //toolvet:ignore sortedrange debug dump; order is genuinely irrelevant here
+	}
+}

@@ -1,6 +1,7 @@
 package mpt
 
 import (
+	"errors"
 	"fmt"
 )
 
@@ -222,7 +223,7 @@ func SumFloat64(c Comm, vec []float64) ([]float64, error) {
 	if err == nil {
 		return out, nil
 	}
-	if err == ErrNotSupported {
+	if errors.Is(err, ErrNotSupported) {
 		return ManualSumFloat64(c, vec)
 	}
 	return nil, err

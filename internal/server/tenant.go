@@ -208,6 +208,10 @@ func (r *registry) closeAll() error {
 	for _, t := range r.tenants {
 		tenants = append(tenants, t)
 	}
+	// Sorted close order makes the returned "first" error deterministic
+	// — in map order, which tenant's close failure wins would vary from
+	// run to run.
+	sort.Slice(tenants, func(i, j int) bool { return tenants[i].id < tenants[j].id })
 	r.mu.Unlock()
 	var first error
 	for _, t := range tenants {

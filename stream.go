@@ -56,6 +56,7 @@ func (s *Session) Stream(ctx context.Context, specs []ExperimentSpec) iter.Seq2[
 		}
 		wg.Add(len(specs))
 		for i, spec := range specs {
+			//toolvet:ignore boundedgo one producer per submitted spec is the streaming contract; each parks on its own buffered slot and cell-level concurrency is bounded by the scheduler's admission gate
 			go func(i int, spec ExperimentSpec) {
 				defer wg.Done()
 				// Every submitted spec gets exactly one SpecStart/SpecDone
